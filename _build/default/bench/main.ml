@@ -1,0 +1,195 @@
+(* Benchmark harness.
+
+   Part 1 — Bechamel microbenchmarks: one Test.make per experiment
+   (e1..e12), timing the simulation kernel that experiment leans on, plus
+   a few substrate kernels (step functions, eigenvalue solve, bitset
+   sweep).  These quantify the cost of regenerating each table.
+
+   Part 2 — table regeneration: runs every registered experiment at
+   Quick scale so a single `dune exec bench/main.exe` reproduces all the
+   paper-claim tables end to end (EXPERIMENTS.md records the Full-scale
+   run of the same code via bin/experiments.exe). *)
+
+open Bechamel
+open Toolkit
+
+module Gen = Cobra_graph.Gen
+module Bitset = Cobra_bitset.Bitset
+module Rng = Cobra_prng.Rng
+module Process = Cobra_core.Process
+module Cobra = Cobra_core.Cobra
+module Bips = Cobra_core.Bips
+module Walk = Cobra_core.Walk
+
+(* Pre-built inputs shared by the benched closures; the RNG state
+   advances across runs, which is what we want: each run measures a
+   fresh random execution. *)
+
+let rng = Rng.create 1234
+
+let lollipop = Gen.lollipop ~clique:32 ~tail:32
+let regular8_128 = Gen.random_regular ~n:128 ~r:8 (Rng.create 1)
+let regular8_256 = Gen.random_regular ~n:256 ~r:8 (Rng.create 2)
+let hypercube8 = Gen.hypercube 8
+let torus16 = Gen.torus ~dims:[ 16; 16 ]
+let cycle128 = Gen.cycle 128
+let complete128 = Gen.complete 128
+let petersen = Gen.petersen ()
+
+let cover ?branching ?lazy_ g () = ignore (Cobra.run_cover g rng ?branching ?lazy_ ~start:0 ())
+
+let experiment_kernels =
+  [
+    Test.make ~name:"e1: cover lollipop n=64" (Staged.stage (cover lollipop));
+    Test.make ~name:"e2: cover random 8-regular n=256" (Staged.stage (cover regular8_256));
+    Test.make ~name:"e3: duality trial pair on petersen"
+      (Staged.stage (fun () ->
+           let start = Bitset.of_list 10 [ 7 ] in
+           ignore (Cobra.hitting_time petersen rng ~max_rounds:4 ~start ~target:0 ());
+           ignore (Bips.infected_after petersen rng ~rounds:4 ~source:0 ())));
+    Test.make ~name:"e4: lazy cover hypercube d=8" (Staged.stage (cover ~lazy_:true hypercube8));
+    Test.make ~name:"e5: cover torus 16x16" (Staged.stage (cover torus16));
+    Test.make ~name:"e6: cover rho=0.25 8-regular n=128"
+      (Staged.stage (cover ~branching:(Process.Bernoulli 0.25) regular8_128));
+    Test.make ~name:"e7: bips trajectory 8-regular n=128"
+      (Staged.stage (fun () -> ignore (Bips.run_trajectory regular8_128 rng ~source:0 ())));
+    Test.make ~name:"e8: candidate set 8-regular n=256"
+      (Staged.stage
+         (let current = Bitset.of_list 256 (List.init 64 (fun i -> i * 3)) in
+          let into = Bitset.create 256 in
+          fun () -> Process.bips_candidate_set regular8_256 ~source:0 ~current ~into));
+    Test.make ~name:"e9: walk cover complete n=128"
+      (Staged.stage (fun () -> ignore (Walk.cover_time complete128 rng ~start:0 ())));
+    Test.make ~name:"e10: lazy cover cycle n=128" (Staged.stage (cover ~lazy_:true cycle128));
+    Test.make ~name:"e11: bips infection 8-regular n=256"
+      (Staged.stage (fun () -> ignore (Bips.run_infection regular8_256 rng ~source:0 ())));
+    Test.make ~name:"e12: 16 walks cover cycle n=128"
+      (Staged.stage (fun () -> ignore (Walk.multi_cover_time cycle128 rng ~k:16 ~start:0 ())));
+    Test.make ~name:"e13: gossip push-pull cover regular n=128"
+      (Staged.stage (fun () ->
+           ignore (Cobra_net.Gossip.push_pull_cover regular8_128 rng ~start:0)));
+    Test.make ~name:"e14: cover without replacement n=128"
+      (Staged.stage
+         (let current = Bitset.create 128 and next = Bitset.create 128 in
+          fun () ->
+            Bitset.clear current;
+            Bitset.add current 0;
+            for _ = 1 to 20 do
+              ignore
+                (Process.cobra_step_without_replacement regular8_128 rng ~b:2 ~current ~next);
+              Bitset.blit ~src:next ~dst:current
+            done));
+    Test.make ~name:"e15: SIS absorption petersen"
+      (Staged.stage
+         (let petersen10 = Gen.petersen () in
+          fun () ->
+            let initial = Bitset.of_list 10 [ 0 ] in
+            ignore (Cobra_core.Sis.run petersen10 rng ~initial ())));
+  ]
+
+let substrate_kernels =
+  [
+    Test.make ~name:"kernel: cobra_step 8-regular n=256"
+      (Staged.stage
+         (let current = Bitset.of_list 256 (List.init 64 (fun i -> i * 2)) in
+          let next = Bitset.create 256 in
+          fun () ->
+            ignore
+              (Process.cobra_step regular8_256 rng ~branching:(Process.Fixed 2) ~lazy_:false
+                 ~current ~next)));
+    Test.make ~name:"kernel: bips_step 8-regular n=256"
+      (Staged.stage
+         (let current = Bitset.of_list 256 (List.init 64 (fun i -> i * 2)) in
+          let next = Bitset.create 256 in
+          fun () ->
+            Process.bips_step regular8_256 rng ~branching:(Process.Fixed 2) ~lazy_:false
+              ~source:0 ~current ~next));
+    Test.make ~name:"kernel: second eigenvalue n=256"
+      (Staged.stage (fun () ->
+           ignore (Cobra_spectral.Eigen.second_eigenvalue ~tol:1e-8 regular8_256)));
+    Test.make ~name:"kernel: bitset union n=4096"
+      (Staged.stage
+         (let a = Bitset.of_list 4096 (List.init 1000 (fun i -> i * 4)) in
+          let b = Bitset.of_list 4096 (List.init 1000 (fun i -> (i * 4) + 1)) in
+          fun () -> Bitset.union_into ~into:a b));
+    Test.make ~name:"kernel: all hitting times n=128 (L+)"
+      (Staged.stage (fun () -> ignore (Cobra_core.Walk_theory.all_hitting_times regular8_128)));
+    Test.make ~name:"kernel: lazy mixing time n=128"
+      (Staged.stage (fun () ->
+           ignore (Cobra_spectral.Mixing.mixing_time ~lazy_:true regular8_128)));
+    Test.make ~name:"kernel: exact cobra next-dist petersen |C|=3"
+      (Staged.stage
+         (let petersen10 = Gen.petersen () in
+          fun () -> ignore (Cobra_exact.Cobra_chain.next_dist petersen10 ~current:0b1011 ())));
+  ]
+
+(* Representation ablation: the same COBRA round implemented over a naive
+   sorted-list set, to quantify what the bitset buys. *)
+let cobra_step_list_based g rng current =
+  let next = ref [] in
+  List.iter
+    (fun u ->
+      for _ = 1 to 2 do
+        let v = Cobra_graph.Graph.random_neighbor g rng u in
+        if not (List.mem v !next) then next := v :: !next
+      done)
+    current;
+  List.sort compare !next
+
+let ablation_kernels =
+  [
+    Test.make ~name:"ablation: cobra round, bitset set (|C|=64, n=256)"
+      (Staged.stage
+         (let current = Bitset.of_list 256 (List.init 64 (fun i -> i * 2)) in
+          let next = Bitset.create 256 in
+          fun () ->
+            ignore
+              (Process.cobra_step regular8_256 rng ~branching:(Process.Fixed 2) ~lazy_:false
+                 ~current ~next)));
+    Test.make ~name:"ablation: cobra round, list set (|C|=64, n=256)"
+      (Staged.stage
+         (let current = List.init 64 (fun i -> i * 2) in
+          fun () -> ignore (cobra_step_list_based regular8_256 rng current)));
+  ]
+
+let run_benchmarks () =
+  let ols = Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |] in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:500 ~quota:(Time.second 0.5) ~kde:None () in
+  let tests = Test.make_grouped ~name:"cobra" (experiment_kernels @ substrate_kernels @ ablation_kernels) in
+  let raw = Benchmark.all cfg instances tests in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  Printf.printf "%-50s %15s\n" "benchmark" "time/run";
+  Printf.printf "%s\n" (String.make 66 '-');
+  let rows = Hashtbl.fold (fun name ols acc -> (name, ols) :: acc) results [] in
+  List.iter
+    (fun (name, ols) ->
+      let t = match Analyze.OLS.estimates ols with Some [ t ] -> t | _ -> nan in
+      let pretty =
+        if Float.is_nan t then "-"
+        else if t > 1e9 then Printf.sprintf "%8.2f  s" (t /. 1e9)
+        else if t > 1e6 then Printf.sprintf "%8.2f ms" (t /. 1e6)
+        else if t > 1e3 then Printf.sprintf "%8.2f us" (t /. 1e3)
+        else Printf.sprintf "%8.0f ns" t
+      in
+      Printf.printf "%-50s %15s\n" name pretty)
+    (List.sort compare rows)
+
+let run_tables () =
+  print_newline ();
+  print_endline (String.make 78 '#');
+  print_endline
+    "# Experiment tables (Quick scale; EXPERIMENTS.md uses --full via bin/experiments)";
+  print_endline (String.make 78 '#');
+  Cobra_parallel.Pool.with_pool (fun pool ->
+      List.iter
+        (fun (e : Cobra_experiments.Experiment.t) ->
+          print_newline ();
+          print_string (Cobra_experiments.Experiment.header e);
+          print_string (e.run ~pool ~master_seed:2017 ~scale:Cobra_experiments.Experiment.Quick);
+          flush stdout)
+        Cobra_experiments.Registry.all)
+
+let () =
+  run_benchmarks ();
+  run_tables ()

@@ -1,0 +1,1 @@
+bin/bips_sim.ml: Arg Array Cmd Cmdliner Cobra_core Cobra_graph Cobra_parallel Cobra_prng Cobra_spectral Cobra_stats Format Fun List String Term

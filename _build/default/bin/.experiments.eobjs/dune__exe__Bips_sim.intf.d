@@ -1,0 +1,1 @@
+bin/bips_sim.mli:

@@ -1,0 +1,1 @@
+bin/cobra_sim.ml: Arg Array Cmd Cmdliner Cobra_core Cobra_graph Cobra_parallel Cobra_prng Cobra_stats Float Format List String Term

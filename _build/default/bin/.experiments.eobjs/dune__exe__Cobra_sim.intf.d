@@ -1,0 +1,1 @@
+bin/cobra_sim.mli:

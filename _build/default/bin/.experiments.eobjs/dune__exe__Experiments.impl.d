@@ -1,0 +1,1 @@
+bin/experiments.ml: Arg Cmd Cmdliner Cobra_experiments Cobra_parallel Filename Fun List Printf String Sys Term Unix

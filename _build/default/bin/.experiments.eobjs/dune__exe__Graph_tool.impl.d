@@ -1,0 +1,1 @@
+bin/graph_tool.ml: Arg Cmd Cmdliner Cobra_core Cobra_graph Cobra_prng Cobra_spectral Format Fun List Printf String Term

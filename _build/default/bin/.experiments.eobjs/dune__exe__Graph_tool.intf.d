@@ -1,0 +1,1 @@
+bin/graph_tool.mli:

@@ -1,0 +1,91 @@
+(* The experiment harness CLI: regenerates every table in EXPERIMENTS.md.
+
+   Usage:
+     cobra-experiments list
+     cobra-experiments run e4 [--full] [--seed N] [--domains K]
+     cobra-experiments run all --full *)
+
+module Experiment = Cobra_experiments.Experiment
+module Registry = Cobra_experiments.Registry
+
+open Cmdliner
+
+let seed_arg =
+  let doc = "Master seed; every number in the output is a deterministic function of it." in
+  Arg.(value & opt int 2017 & info [ "seed" ] ~docv:"SEED" ~doc)
+
+let domains_arg =
+  let doc = "Worker domains to add to the pool (default: cores - 1)." in
+  Arg.(value & opt (some int) None & info [ "domains" ] ~docv:"K" ~doc)
+
+let full_arg =
+  let doc = "Run at full scale (the EXPERIMENTS.md numbers) instead of quick scale." in
+  Arg.(value & flag & info [ "full" ] ~doc)
+
+let out_arg =
+  let doc =
+    "Also write each experiment's output to $(docv)/<id>.txt (directory is created)."
+  in
+  Arg.(value & opt (some string) None & info [ "out" ] ~docv:"DIR" ~doc)
+
+let list_cmd =
+  let run () =
+    List.iter
+      (fun (e : Experiment.t) -> Printf.printf "%-4s %s\n     %s\n" e.id e.title e.claim)
+      Registry.all
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List the available experiments") Term.(const run $ const ())
+
+let run_experiments ids seed domains full out =
+  let scale = if full then Experiment.Full else Experiment.Quick in
+  (match out with
+  | Some dir when not (Sys.file_exists dir) -> Sys.mkdir dir 0o755
+  | _ -> ());
+  let selected =
+    if ids = [ "all" ] then Ok Registry.all
+    else
+      let missing = List.filter (fun id -> Registry.find id = None) ids in
+      if missing <> [] then
+        Error (Printf.sprintf "unknown experiment id(s): %s (try 'list')" (String.concat ", " missing))
+      else Ok (List.filter_map Registry.find ids)
+  in
+  match selected with
+  | Error msg ->
+      prerr_endline msg;
+      exit 1
+  | Ok experiments ->
+      Cobra_parallel.Pool.with_pool ?num_domains:domains (fun pool ->
+          List.iter
+            (fun (e : Experiment.t) ->
+              print_string (Experiment.header e);
+              let started = Unix.gettimeofday () in
+              let output = e.run ~pool ~master_seed:seed ~scale in
+              print_string output;
+              (match out with
+              | Some dir ->
+                  let oc = open_out (Filename.concat dir (e.id ^ ".txt")) in
+                  Fun.protect
+                    ~finally:(fun () -> close_out oc)
+                    (fun () ->
+                      output_string oc (Experiment.header e);
+                      output_string oc output)
+              | None -> ());
+              Printf.printf "[%s finished in %.1fs]\n\n%!" e.id (Unix.gettimeofday () -. started))
+            experiments)
+
+let run_cmd =
+  let ids_arg =
+    let doc = "Experiment ids to run (e1 .. e12), or 'all'." in
+    Arg.(non_empty & pos_all string [] & info [] ~docv:"ID" ~doc)
+  in
+  let term =
+    Term.(const run_experiments $ ids_arg $ seed_arg $ domains_arg $ full_arg $ out_arg)
+  in
+  Cmd.v (Cmd.info "run" ~doc:"Run experiments and print their tables") term
+
+let main_cmd =
+  let doc = "Reproduce the quantitative claims of Cooper, Radzik, Rivera (SPAA 2017)" in
+  let info = Cmd.info "cobra-experiments" ~version:"1.0.0" ~doc in
+  Cmd.group info [ list_cmd; run_cmd ]
+
+let () = exit (Cmd.eval main_cmd)

@@ -1,0 +1,114 @@
+(* cobra-graph-tool: generate, inspect and export the graph families.
+
+   Examples:
+     cobra-graph-tool gen --family hypercube -n 256 -o cube.graph
+     cobra-graph-tool info cube.graph
+     cobra-graph-tool info --family lollipop -n 100 --spectral
+     cobra-graph-tool dot --family petersen -n 10 *)
+
+module Graph = Cobra_graph.Graph
+module Gen = Cobra_graph.Gen
+module Props = Cobra_graph.Props
+module Graph_io = Cobra_graph.Graph_io
+module Eigen = Cobra_spectral.Eigen
+module Conductance = Cobra_spectral.Conductance
+
+open Cmdliner
+
+let family_arg =
+  let doc = "Graph family. One of: " ^ String.concat ", " Gen.family_names ^ "." in
+  Arg.(value & opt string "regular-8" & info [ "family" ] ~docv:"NAME" ~doc)
+
+let n_arg = Arg.(value & opt int 64 & info [ "n" ] ~docv:"N" ~doc:"Target vertex count.")
+let seed_arg = Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"Generator seed.")
+
+let file_pos =
+  let doc = "Edge-list file to read (generated family used when omitted)." in
+  Arg.(value & pos 0 (some file) None & info [] ~docv:"FILE" ~doc)
+
+let output_arg =
+  let doc = "Output path (stdout when omitted)." in
+  Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"OUT" ~doc)
+
+let spectral_arg =
+  let doc = "Also compute lambda, the lazy gap and a conductance estimate." in
+  Arg.(value & flag & info [ "spectral" ] ~doc)
+
+let obtain file family n seed =
+  match file with
+  | Some path -> Graph_io.read_file path
+  | None -> Gen.by_name family ~n (Cobra_prng.Rng.create seed)
+
+let emit output text =
+  match output with
+  | None -> print_string text
+  | Some path ->
+      let oc = open_out path in
+      Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc text);
+      Printf.printf "wrote %s\n" path
+
+let gen_cmd =
+  let run family n seed output =
+    let g = Gen.by_name family ~n (Cobra_prng.Rng.create seed) in
+    emit output (Graph_io.to_string g)
+  in
+  Cmd.v
+    (Cmd.info "gen" ~doc:"Generate a graph and write it as an edge list")
+    Term.(const run $ family_arg $ n_arg $ seed_arg $ output_arg)
+
+let info_cmd =
+  let run file family n seed spectral =
+    let g = obtain file family n seed in
+    Format.printf "%a@." Graph.pp_stats g;
+    Format.printf "connected: %b, bipartite: %b@." (Props.is_connected g) (Props.is_bipartite g);
+    if Props.is_connected g && Graph.n g > 1 then begin
+      let diam_lb = Props.diameter_lower_bound g in
+      if Graph.n g <= 4096 then Format.printf "diameter: %d@." (Props.diameter g)
+      else Format.printf "diameter: >= %d (double sweep)@." diam_lb;
+      Format.printf "average degree: %.2f@." (Props.average_degree g);
+      let hist = Props.degree_histogram g in
+      if List.length hist <= 12 then begin
+        Format.printf "degree histogram:";
+        List.iter (fun (d, c) -> Format.printf " %d:%d" d c) hist;
+        Format.printf "@."
+      end;
+      if spectral then begin
+        let lambda = Eigen.second_eigenvalue g in
+        Format.printf "lambda (abs 2nd eigenvalue of P): %.6f, gap: %.6f@." lambda
+          (1.0 -. lambda);
+        Format.printf "lazy lambda: %.6f, lazy gap: %.6f@."
+          (Eigen.lazy_second_eigenvalue g) (Eigen.lazy_eigenvalue_gap g);
+        let phi_upper = Conductance.sweep_upper_bound g in
+        Format.printf "conductance: <= %.6f (sweep cut)" phi_upper;
+        if Graph.n g <= 20 then Format.printf ", = %.6f (exact)" (Conductance.exact g);
+        Format.printf "@.";
+        if Graph.n g <= 1024 then begin
+          (match Cobra_spectral.Mixing.mixing_time ~lazy_:true g with
+          | Some t -> Format.printf "lazy mixing time (TV <= 1/4): %d rounds@." t
+          | None -> Format.printf "lazy mixing time: did not mix within the cap@.");
+          if Graph.n g <= 512 then
+            Format.printf "max hitting time (walk): %.1f; Matthews cover bound: %.1f@."
+              (Cobra_core.Walk_theory.max_hitting_time g)
+              (Cobra_core.Walk_theory.matthews_upper g)
+        end
+      end
+    end
+  in
+  Cmd.v
+    (Cmd.info "info" ~doc:"Print structural (and optionally spectral) statistics")
+    Term.(const run $ file_pos $ family_arg $ n_arg $ seed_arg $ spectral_arg)
+
+let dot_cmd =
+  let run file family n seed output =
+    let g = obtain file family n seed in
+    emit output (Graph_io.to_dot g)
+  in
+  Cmd.v
+    (Cmd.info "dot" ~doc:"Render a graph in Graphviz DOT format")
+    Term.(const run $ file_pos $ family_arg $ n_arg $ seed_arg $ output_arg)
+
+let main_cmd =
+  let doc = "Generate and inspect the graph families used by the COBRA experiments" in
+  Cmd.group (Cmd.info "cobra-graph-tool" ~version:"1.0.0" ~doc) [ gen_cmd; info_cmd; dot_cmd ]
+
+let () = exit (Cmd.eval main_cmd)

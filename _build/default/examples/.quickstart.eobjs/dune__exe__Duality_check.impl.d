@@ -1,0 +1,1 @@
+examples/duality_check.ml: Cobra_bitset Cobra_core Cobra_graph Cobra_parallel Cobra_stats Float Format List Printf

@@ -1,0 +1,1 @@
+examples/duality_check.mli:

@@ -1,0 +1,1 @@
+examples/epidemic_source.ml: Array Cobra_core Cobra_graph Cobra_prng Cobra_spectral Format String

@@ -1,0 +1,1 @@
+examples/epidemic_source.mli:

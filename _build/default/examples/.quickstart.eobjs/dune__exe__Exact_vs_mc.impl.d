@@ -1,0 +1,1 @@
+examples/exact_vs_mc.ml: Cobra_core Cobra_exact Cobra_graph Cobra_prng Cobra_stats List Printf

@@ -1,0 +1,1 @@
+examples/exact_vs_mc.mli:

@@ -1,0 +1,1 @@
+examples/gossip_protocols.ml: Cobra_graph Cobra_net Cobra_prng Cobra_stats Format List Printf

@@ -1,0 +1,1 @@
+examples/gossip_protocols.mli:

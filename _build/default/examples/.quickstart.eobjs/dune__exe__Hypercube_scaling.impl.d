@@ -1,0 +1,1 @@
+examples/hypercube_scaling.ml: Array Cobra_core Cobra_graph Cobra_parallel Cobra_spectral Cobra_stats List Printf

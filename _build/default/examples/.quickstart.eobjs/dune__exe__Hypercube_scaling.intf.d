@@ -1,0 +1,1 @@
+examples/hypercube_scaling.mli:

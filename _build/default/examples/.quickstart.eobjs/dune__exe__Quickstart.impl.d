@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Cobra_core Cobra_graph Cobra_parallel Cobra_prng Cobra_spectral Cobra_stats Format

@@ -1,0 +1,1 @@
+examples/rho_sweep.ml: Cobra_core Cobra_graph Cobra_parallel Cobra_prng Cobra_stats Float Format List Printf

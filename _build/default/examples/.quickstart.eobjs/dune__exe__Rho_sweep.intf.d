@@ -1,0 +1,1 @@
+examples/rho_sweep.mli:

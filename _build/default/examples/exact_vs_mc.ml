@@ -1,0 +1,70 @@
+(* Exact Markov-chain oracles vs the Monte-Carlo engine.
+
+   On small graphs the COBRA set process and the BIPS epidemic admit
+   exact analysis: Moebius inversion gives COBRA's one-round subset
+   distribution, and BIPS's kernel factorises over vertices.  This
+   example computes expected cover and infection times exactly, compares
+   them with Monte-Carlo estimates, and finishes with the machine-precision
+   verification of the duality theorem.
+
+   Run with:  dune exec examples/exact_vs_mc.exe *)
+
+module Gen = Cobra_graph.Gen
+module Graph = Cobra_graph.Graph
+module Rng = Cobra_prng.Rng
+module Cobra = Cobra_core.Cobra
+module Bips = Cobra_core.Bips
+module Cobra_chain = Cobra_exact.Cobra_chain
+module Bips_chain = Cobra_exact.Bips_chain
+module Table = Cobra_stats.Table
+
+let mc_mean f trials =
+  let sum = ref 0.0 in
+  for seed = 1 to trials do
+    match f seed with
+    | Some r -> sum := !sum +. float_of_int r
+    | None -> failwith "censored trial"
+  done;
+  !sum /. float_of_int trials
+
+let () =
+  let trials = 20_000 in
+  let graphs =
+    [
+      ("K4", Gen.complete 4); ("P5", Gen.path 5); ("C6", Gen.cycle 6); ("star6", Gen.star 6);
+      ("K3,3", Gen.complete_bipartite 3 3);
+    ]
+  in
+  Printf.printf "expected COBRA cover time (start 0) and BIPS infection time (source 0)\n";
+  Printf.printf "%d Monte-Carlo trials against the exact chain values:\n\n" trials;
+  let t =
+    Table.create
+      [
+        ("graph", Table.Left); ("E[cover] exact", Table.Right); ("E[cover] MC", Table.Right);
+        ("E[infec] exact", Table.Right); ("E[infec] MC", Table.Right);
+      ]
+  in
+  List.iter
+    (fun (name, g) ->
+      let cover_exact = Cobra_chain.expected_cover g ~start:0 () in
+      let cover_mc =
+        mc_mean (fun seed -> Cobra.run_cover g (Rng.create seed) ~start:0 ()) trials
+      in
+      let chain = Bips_chain.make g ~source:0 () in
+      let infec_exact = Bips_chain.expected_infection_time chain in
+      let infec_mc =
+        mc_mean (fun seed -> Bips.run_infection g (Rng.create (seed + 1_000_000)) ~source:0 ()) trials
+      in
+      t |> fun t ->
+      Table.add_row t
+        [
+          name; Printf.sprintf "%.4f" cover_exact; Printf.sprintf "%.4f" cover_mc;
+          Printf.sprintf "%.4f" infec_exact; Printf.sprintf "%.4f" infec_mc;
+        ])
+    graphs;
+  print_string (Table.render t);
+
+  Printf.printf "\nTheorem 1.3, exactly (horizon 15, petersen, C = {7}, v = 0):\n";
+  let r = Cobra_exact.Duality_exact.check (Gen.petersen ()) ~c0:(1 lsl 7) ~v:0 ~horizon:15 () in
+  Printf.printf "  max |P(Hit(v) > T) - P(C ∩ A_T = ∅)| over T <= 15:  %.2e\n" r.max_gap;
+  Printf.printf "  (both sides computed by independent exact formulations)\n"

@@ -1,0 +1,1 @@
+lib/bitset/bitset.ml: Array Cobra_prng Format List Printf Sys

@@ -1,0 +1,1 @@
+lib/bitset/bitset.mli: Cobra_prng Format

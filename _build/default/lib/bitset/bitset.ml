@@ -1,0 +1,225 @@
+(* Bits are packed 63 per OCaml int (the full tagged-int width on 64-bit
+   platforms), so a set over n vertices costs ceil(n/63) words. *)
+
+let bpw = 63
+
+type t = {
+  capacity : int;
+  words : int array;
+  mutable card : int;
+}
+
+let () =
+  if Sys.int_size < 63 then
+    failwith "Bitset: requires a 64-bit platform (63-bit native ints)"
+
+let nwords capacity = (capacity + bpw - 1) / bpw
+
+let create capacity =
+  if capacity < 0 then invalid_arg "Bitset.create: negative capacity";
+  { capacity; words = Array.make (max 1 (nwords capacity)) 0; card = 0 }
+
+let capacity t = t.capacity
+let cardinal t = t.card
+let is_empty t = t.card = 0
+
+let check t i =
+  if i < 0 || i >= t.capacity then
+    invalid_arg
+      (Printf.sprintf "Bitset: element %d out of range [0, %d)" i t.capacity)
+
+let mem t i =
+  check t i;
+  t.words.(i / bpw) land (1 lsl (i mod bpw)) <> 0
+
+let add t i =
+  check t i;
+  let w = i / bpw and b = 1 lsl (i mod bpw) in
+  let old = t.words.(w) in
+  if old land b = 0 then begin
+    t.words.(w) <- old lor b;
+    t.card <- t.card + 1
+  end
+
+let remove t i =
+  check t i;
+  let w = i / bpw and b = 1 lsl (i mod bpw) in
+  let old = t.words.(w) in
+  if old land b <> 0 then begin
+    t.words.(w) <- old land lnot b;
+    t.card <- t.card - 1
+  end
+
+let clear t =
+  Array.fill t.words 0 (Array.length t.words) 0;
+  t.card <- 0
+
+(* Bits beyond [capacity] in the last word must stay zero so that word-wise
+   operations and popcounts remain exact.  Note bit 62 of a word is the
+   int's sign bit, so the all-ones 63-bit word is the int [-1]. *)
+let last_word_mask t =
+  let rem = t.capacity mod bpw in
+  if rem = 0 then -1 else (1 lsl rem) - 1
+
+let fill t =
+  if t.capacity > 0 then begin
+    Array.fill t.words 0 (Array.length t.words) (-1);
+    let last = Array.length t.words - 1 in
+    t.words.(last) <- t.words.(last) land last_word_mask t;
+    t.card <- t.capacity
+  end
+
+let copy t = { capacity = t.capacity; words = Array.copy t.words; card = t.card }
+
+let same_capacity a b =
+  if a.capacity <> b.capacity then
+    invalid_arg "Bitset: operands have different capacities"
+
+let blit ~src ~dst =
+  same_capacity src dst;
+  Array.blit src.words 0 dst.words 0 (Array.length src.words);
+  dst.card <- src.card
+
+let popcount x =
+  let rec go acc x = if x = 0 then acc else go (acc + 1) (x land (x - 1)) in
+  go 0 x
+
+let recount t =
+  let c = ref 0 in
+  for w = 0 to Array.length t.words - 1 do
+    c := !c + popcount t.words.(w)
+  done;
+  t.card <- !c
+
+let equal a b =
+  same_capacity a b;
+  a.card = b.card && a.words = b.words
+
+let subset a b =
+  same_capacity a b;
+  let n = Array.length a.words in
+  let rec go w = w >= n || (a.words.(w) land lnot b.words.(w) = 0 && go (w + 1)) in
+  go 0
+
+let union_into ~into b =
+  same_capacity into b;
+  for w = 0 to Array.length into.words - 1 do
+    into.words.(w) <- into.words.(w) lor b.words.(w)
+  done;
+  recount into
+
+let inter_into ~into b =
+  same_capacity into b;
+  for w = 0 to Array.length into.words - 1 do
+    into.words.(w) <- into.words.(w) land b.words.(w)
+  done;
+  recount into
+
+let diff_into ~into b =
+  same_capacity into b;
+  for w = 0 to Array.length into.words - 1 do
+    into.words.(w) <- into.words.(w) land lnot b.words.(w)
+  done;
+  recount into
+
+let intersects a b =
+  same_capacity a b;
+  let n = Array.length a.words in
+  let rec go w = w < n && (a.words.(w) land b.words.(w) <> 0 || go (w + 1)) in
+  go 0
+
+let iter f t =
+  for w = 0 to Array.length t.words - 1 do
+    let word = ref t.words.(w) in
+    let base = w * bpw in
+    while !word <> 0 do
+      let low = !word land - !word in
+      (* Position of the lowest set bit, found by clearing and counting. *)
+      let b =
+        let rec pos i m = if m = low then i else pos (i + 1) (m lsl 1) in
+        pos 0 1
+      in
+      f (base + b);
+      word := !word land lnot low
+    done
+  done
+
+let fold f t init =
+  let acc = ref init in
+  iter (fun i -> acc := f i !acc) t;
+  !acc
+
+let to_list t = List.rev (fold (fun i acc -> i :: acc) t [])
+
+let to_array t =
+  let a = Array.make t.card 0 in
+  let k = ref 0 in
+  iter
+    (fun i ->
+      a.(!k) <- i;
+      incr k)
+    t;
+  a
+
+let of_list capacity xs =
+  let t = create capacity in
+  List.iter (add t) xs;
+  t
+
+let choose t =
+  if t.card = 0 then None
+  else begin
+    let result = ref None in
+    (try
+       iter
+         (fun i ->
+           result := Some i;
+           raise Exit)
+         t
+     with Exit -> ());
+    !result
+  end
+
+let random_member t rng =
+  if t.card = 0 then invalid_arg "Bitset.random_member: empty set";
+  (* Draw the rank uniformly, then walk words accumulating popcounts. *)
+  let rank = Cobra_prng.Rng.int_below rng t.card in
+  let seen = ref 0 in
+  let result = ref (-1) in
+  (try
+     for w = 0 to Array.length t.words - 1 do
+       let c = popcount t.words.(w) in
+       if !seen + c > rank then begin
+         let word = ref t.words.(w) in
+         let remaining = ref (rank - !seen) in
+         let base = w * bpw in
+         while !result < 0 do
+           let low = !word land - !word in
+           if !remaining = 0 then begin
+             let b =
+               let rec pos i m = if m = low then i else pos (i + 1) (m lsl 1) in
+               pos 0 1
+             in
+             result := base + b
+           end
+           else begin
+             decr remaining;
+             word := !word land lnot low
+           end
+         done;
+         raise Exit
+       end;
+       seen := !seen + c
+     done
+   with Exit -> ());
+  !result
+
+let pp ppf t =
+  Format.fprintf ppf "{";
+  let first = ref true in
+  iter
+    (fun i ->
+      if !first then first := false else Format.fprintf ppf ", ";
+      Format.fprintf ppf "%d" i)
+    t;
+  Format.fprintf ppf "}"

@@ -1,0 +1,86 @@
+(** Fixed-capacity mutable bitsets over [0 .. capacity-1].
+
+    This is the vertex-set representation of the process engines: a COBRA
+    or BIPS round touches every member of the current set and inserts into
+    the next one, so membership, insertion and O(capacity/word) iteration
+    dominate the simulation cost.  Cardinality is maintained incrementally
+    so [cardinal] is O(1).
+
+    All operations expect elements within [0 .. capacity-1]; out-of-range
+    elements raise [Invalid_argument].  Binary operations require both
+    arguments to share the same capacity. *)
+
+type t
+
+val create : int -> t
+(** [create capacity] is the empty set over [0 .. capacity-1].
+    @raise Invalid_argument if [capacity < 0]. *)
+
+val capacity : t -> int
+(** Universe size the set was created with. *)
+
+val cardinal : t -> int
+(** Number of members; O(1). *)
+
+val is_empty : t -> bool
+
+val mem : t -> int -> bool
+
+val add : t -> int -> unit
+(** Idempotent insertion. *)
+
+val remove : t -> int -> unit
+(** Idempotent deletion. *)
+
+val clear : t -> unit
+(** Removes every member. *)
+
+val fill : t -> unit
+(** Adds every element of the universe. *)
+
+val copy : t -> t
+
+val blit : src:t -> dst:t -> unit
+(** [blit ~src ~dst] makes [dst] equal to [src].  Capacities must match. *)
+
+val equal : t -> t -> bool
+
+val subset : t -> t -> bool
+(** [subset a b] is [true] iff every member of [a] is in [b]. *)
+
+val union_into : into:t -> t -> unit
+(** [union_into ~into b] sets [into := into ∪ b]. *)
+
+val inter_into : into:t -> t -> unit
+(** [inter_into ~into b] sets [into := into ∩ b]. *)
+
+val diff_into : into:t -> t -> unit
+(** [diff_into ~into b] sets [into := into \ b]. *)
+
+val intersects : t -> t -> bool
+(** [intersects a b] is [true] iff [a ∩ b] is non-empty; short-circuits. *)
+
+val iter : (int -> unit) -> t -> unit
+(** Iterates members in increasing order. *)
+
+val fold : (int -> 'a -> 'a) -> t -> 'a -> 'a
+(** Folds members in increasing order. *)
+
+val to_list : t -> int list
+(** Members in increasing order. *)
+
+val to_array : t -> int array
+(** Members in increasing order. *)
+
+val of_list : int -> int list -> t
+(** [of_list capacity xs] builds a set containing [xs]. *)
+
+val choose : t -> int option
+(** Smallest member, if any. *)
+
+val random_member : t -> Cobra_prng.Rng.t -> int
+(** [random_member t rng] is a uniformly random member.
+    @raise Invalid_argument on the empty set. *)
+
+val pp : Format.formatter -> t -> unit
+(** Prints as [{0, 3, 7}]. *)

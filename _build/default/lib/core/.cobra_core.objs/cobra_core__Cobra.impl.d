@@ -1,0 +1,1 @@
+lib/core/cobra.ml: Array Cobra_bitset Cobra_graph List Option Process

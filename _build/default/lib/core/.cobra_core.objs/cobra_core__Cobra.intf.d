@@ -1,0 +1,1 @@
+lib/core/cobra.mli: Cobra_bitset Cobra_graph Cobra_prng Process

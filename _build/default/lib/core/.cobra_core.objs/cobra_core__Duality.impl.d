@@ -1,0 +1,1 @@
+lib/core/duality.ml: Array Bips Cobra Cobra_bitset Cobra_graph Cobra_parallel Float List Process

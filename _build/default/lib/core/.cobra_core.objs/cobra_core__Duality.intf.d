@@ -1,0 +1,1 @@
+lib/core/duality.mli: Cobra_bitset Cobra_graph Cobra_parallel Process

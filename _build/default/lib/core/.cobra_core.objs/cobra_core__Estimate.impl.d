@@ -1,0 +1,1 @@
+lib/core/estimate.ml: Array Bips Cobra Cobra_graph Cobra_parallel Cobra_stats List Walk

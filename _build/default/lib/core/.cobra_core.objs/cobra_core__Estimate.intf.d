@@ -1,0 +1,1 @@
+lib/core/estimate.mli: Cobra_graph Cobra_parallel Cobra_stats Process

@@ -1,0 +1,1 @@
+lib/core/growth.ml: Array Bips Cobra_graph Cobra_parallel Float List Process

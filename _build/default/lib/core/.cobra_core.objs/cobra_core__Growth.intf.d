@@ -1,0 +1,1 @@
+lib/core/growth.mli: Cobra_graph Cobra_parallel Process

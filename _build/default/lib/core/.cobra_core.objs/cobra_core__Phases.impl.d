@@ -1,0 +1,1 @@
+lib/core/phases.ml: Array Float List

@@ -1,0 +1,1 @@
+lib/core/process.ml: Cobra_bitset Cobra_graph Cobra_prng List

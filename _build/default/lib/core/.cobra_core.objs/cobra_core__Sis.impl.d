@@ -1,0 +1,1 @@
+lib/core/sis.ml: Array Cobra Cobra_bitset Cobra_graph List Option Process

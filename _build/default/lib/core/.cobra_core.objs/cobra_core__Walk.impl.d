@@ -1,0 +1,1 @@
+lib/core/walk.ml: Array Cobra_bitset Cobra_graph Cobra_prng Option

@@ -1,0 +1,1 @@
+lib/core/walk.mli: Cobra_graph Cobra_prng

@@ -1,0 +1,1 @@
+lib/core/walk_theory.ml: Array Cobra_graph Float

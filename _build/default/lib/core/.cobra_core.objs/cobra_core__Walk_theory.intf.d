@@ -1,0 +1,1 @@
+lib/core/walk_theory.mli: Cobra_graph

@@ -1,0 +1,73 @@
+module Graph = Cobra_graph.Graph
+module Bitset = Cobra_bitset.Bitset
+
+type trajectory = { rounds : int; sizes : int array; candidate_sizes : int array }
+
+let check_source g source =
+  if Graph.n g = 0 then invalid_arg "Bips: empty graph";
+  if source < 0 || source >= Graph.n g then invalid_arg "Bips: source vertex out of range"
+
+let run_loop g rng ~branching ~lazy_ ~max_rounds ~record ~source =
+  let n = Graph.n g in
+  let current = Bitset.create n in
+  let next = Bitset.create n in
+  let scratch = Bitset.create n in
+  Bitset.add current source;
+  let sizes = ref [ 1 ] and candidate_sizes = ref [] in
+  let rounds = ref 0 in
+  let result = ref None in
+  (try
+     if n = 1 then result := Some 0
+     else
+       while !rounds < max_rounds do
+         if record then begin
+           Process.bips_candidate_set g ~source ~current ~into:scratch;
+           candidate_sizes := Bitset.cardinal scratch :: !candidate_sizes
+         end;
+         incr rounds;
+         Process.bips_step g rng ~branching ~lazy_ ~source ~current ~next;
+         Bitset.blit ~src:next ~dst:current;
+         if record then sizes := Bitset.cardinal current :: !sizes;
+         if Bitset.cardinal current = n then begin
+           result := Some !rounds;
+           raise Exit
+         end
+       done
+   with Exit -> ());
+  match !result with
+  | None -> None
+  | Some rounds ->
+      Some
+        {
+          rounds;
+          sizes = Array.of_list (List.rev !sizes);
+          candidate_sizes = Array.of_list (List.rev !candidate_sizes);
+        }
+
+let run_infection g rng ?(branching = Process.Fixed 2) ?(lazy_ = false) ?max_rounds ~source () =
+  check_source g source;
+  Process.validate_branching branching;
+  let max_rounds = Option.value max_rounds ~default:(Cobra.default_max_rounds g) in
+  Option.map
+    (fun t -> t.rounds)
+    (run_loop g rng ~branching ~lazy_ ~max_rounds ~record:false ~source)
+
+let run_trajectory g rng ?(branching = Process.Fixed 2) ?(lazy_ = false) ?max_rounds ~source () =
+  check_source g source;
+  Process.validate_branching branching;
+  let max_rounds = Option.value max_rounds ~default:(Cobra.default_max_rounds g) in
+  run_loop g rng ~branching ~lazy_ ~max_rounds ~record:true ~source
+
+let infected_after g rng ?(branching = Process.Fixed 2) ?(lazy_ = false) ~rounds ~source () =
+  check_source g source;
+  Process.validate_branching branching;
+  if rounds < 0 then invalid_arg "Bips.infected_after: negative round count";
+  let n = Graph.n g in
+  let current = Bitset.create n in
+  let next = Bitset.create n in
+  Bitset.add current source;
+  for _ = 1 to rounds do
+    Process.bips_step g rng ~branching ~lazy_ ~source ~current ~next;
+    Bitset.blit ~src:next ~dst:current
+  done;
+  current

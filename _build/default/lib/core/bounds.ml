@@ -1,0 +1,45 @@
+let log2 x = log x /. log 2.0
+
+let ln n = log (float_of_int (max 2 n))
+
+let check_lambda lambda =
+  if not (lambda >= 0.0 && lambda < 1.0) then
+    invalid_arg "Bounds: lambda must be in [0, 1) (is the graph connected and non-bipartite?)"
+
+let this_paper_general ~n ~m ~dmax =
+  float_of_int m +. (float_of_int (dmax * dmax) *. ln n)
+
+let this_paper_regular ~n ~r ~lambda =
+  check_lambda lambda;
+  let r = float_of_int r in
+  ((r /. (1.0 -. lambda)) +. (r *. r)) *. ln n
+
+let podc16_regular ~n ~lambda =
+  check_lambda lambda;
+  let gap = 1.0 -. lambda in
+  ln n /. (gap *. gap *. gap)
+
+let spaa16_regular ~n ~r ~phi =
+  if phi <= 0.0 then invalid_arg "Bounds.spaa16_regular: phi must be positive";
+  let r = float_of_int r in
+  r *. r *. r *. r /. (phi *. phi) *. ln n *. ln n
+
+let spaa16_general ~n = (float_of_int n ** 2.75) *. ln n
+
+let spaa16_grid ~n ~dim =
+  let d = float_of_int dim in
+  d *. d *. (float_of_int n ** (1.0 /. d))
+
+let dutta_complete ~n = ln n
+let dutta_expander ~n = ln n *. ln n
+let dutta_grid ~n ~dim = float_of_int n ** (1.0 /. float_of_int dim)
+
+let lower_bound ~n ~diameter = Float.max (log2 (float_of_int (max 2 n))) (float_of_int diameter)
+
+let walk_cover_lower ~n = float_of_int n *. ln n
+
+let rho_scaling ~rho =
+  if not (rho > 0.0 && rho <= 1.0) then invalid_arg "Bounds.rho_scaling: rho must be in (0, 1]";
+  1.0 /. (rho *. rho)
+
+let cheeger_gap_of_phi ~phi = phi *. phi /. 2.0

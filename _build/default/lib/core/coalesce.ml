@@ -1,0 +1,31 @@
+type stats = {
+  rounds : int;
+  total_sent : int;
+  total_coalesced : int;
+  waste : float;
+  peak_active : int;
+  mean_active : float;
+}
+
+let of_run (run : Cobra.run) =
+  let rounds = run.rounds in
+  let total_sent = run.transmissions in
+  (* Survivors of round t are the active particles at t+1. *)
+  let survived = ref 0 in
+  for t = 1 to rounds do
+    survived := !survived + run.active_sizes.(t)
+  done;
+  let total_coalesced = max 0 (total_sent - !survived) in
+  let peak_active = Array.fold_left max 0 run.active_sizes in
+  let active_sum = ref 0 in
+  for t = 0 to rounds - 1 do
+    active_sum := !active_sum + run.active_sizes.(t)
+  done;
+  {
+    rounds;
+    total_sent;
+    total_coalesced;
+    waste = (if total_sent = 0 then 0.0 else float_of_int total_coalesced /. float_of_int total_sent);
+    peak_active;
+    mean_active = (if rounds = 0 then 0.0 else float_of_int !active_sum /. float_of_int rounds);
+  }

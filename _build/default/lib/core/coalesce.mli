@@ -1,0 +1,22 @@
+(** Coalescence accounting for COBRA runs.
+
+    COBRA's defining trade-off is that particles meeting at a vertex
+    merge: of the [b |C_t|] particles sent in round [t], only
+    [|C_{t+1}|] survive.  The merged fraction is the price paid for the
+    per-vertex transmission cap — and the reason the analysis cannot
+    treat the walks as independent (Section 1).  This module derives
+    those statistics from a recorded run. *)
+
+type stats = {
+  rounds : int;
+  total_sent : int;  (** All particles transmitted over the run. *)
+  total_coalesced : int;  (** Particles lost to merging: sent − survived. *)
+  waste : float;  (** [total_coalesced / total_sent] in [0, 1). *)
+  peak_active : int;  (** Largest [|C_t|]. *)
+  mean_active : float;  (** Mean [|C_t|] over rounds [0 .. rounds-1]. *)
+}
+
+val of_run : Cobra.run -> stats
+(** Statistics of a completed recorded run.  [total_sent] comes from the
+    run's own transmission counter, so every branching variant
+    (including fractional) is accounted exactly. *)

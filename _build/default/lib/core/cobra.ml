@@ -1,0 +1,104 @@
+module Graph = Cobra_graph.Graph
+module Bitset = Cobra_bitset.Bitset
+
+type run = {
+  rounds : int;
+  transmissions : int;
+  visited_sizes : int array;
+  active_sizes : int array;
+}
+
+(* Generous cap: orders of magnitude above the paper's O(n^2 log n)
+   general bound at test sizes, while keeping accidental non-termination
+   (e.g. plain COBRA on a bipartite graph) finite. *)
+let default_max_rounds g =
+  let n = Graph.n g in
+  max 100_000 (50 * n * (1 + Graph.max_degree g))
+
+let check_start g start =
+  if Graph.n g = 0 then invalid_arg "Cobra: empty graph";
+  if start < 0 || start >= Graph.n g then invalid_arg "Cobra: start vertex out of range"
+
+let run_loop g rng ~branching ~lazy_ ~max_rounds ~record ~start =
+  let n = Graph.n g in
+  let current = Bitset.create n in
+  let next = Bitset.create n in
+  let visited = Bitset.create n in
+  Bitset.add current start;
+  Bitset.add visited start;
+  let transmissions = ref 0 in
+  let visited_sizes = ref [ 1 ] and active_sizes = ref [ 1 ] in
+  let rounds = ref 0 in
+  let result = ref None in
+  (try
+     if Bitset.cardinal visited = n then result := Some !rounds
+     else
+       while !rounds < max_rounds do
+         incr rounds;
+         transmissions :=
+           !transmissions + Process.cobra_step g rng ~branching ~lazy_ ~current ~next;
+         Bitset.blit ~src:next ~dst:current;
+         Bitset.union_into ~into:visited current;
+         if record then begin
+           visited_sizes := Bitset.cardinal visited :: !visited_sizes;
+           active_sizes := Bitset.cardinal current :: !active_sizes
+         end;
+         if Bitset.cardinal visited = n then begin
+           result := Some !rounds;
+           raise Exit
+         end
+       done
+   with Exit -> ());
+  match !result with
+  | None -> None
+  | Some rounds ->
+      Some
+        {
+          rounds;
+          transmissions = !transmissions;
+          visited_sizes = Array.of_list (List.rev !visited_sizes);
+          active_sizes = Array.of_list (List.rev !active_sizes);
+        }
+
+let run_cover_detailed g rng ?(branching = Process.Fixed 2) ?(lazy_ = false) ?max_rounds ~start ()
+    =
+  check_start g start;
+  Process.validate_branching branching;
+  let max_rounds = Option.value max_rounds ~default:(default_max_rounds g) in
+  run_loop g rng ~branching ~lazy_ ~max_rounds ~record:true ~start
+
+let run_cover g rng ?(branching = Process.Fixed 2) ?(lazy_ = false) ?max_rounds ~start () =
+  check_start g start;
+  Process.validate_branching branching;
+  let max_rounds = Option.value max_rounds ~default:(default_max_rounds g) in
+  Option.map (fun r -> r.rounds) (run_loop g rng ~branching ~lazy_ ~max_rounds ~record:false ~start)
+
+let hitting_time g rng ?(branching = Process.Fixed 2) ?(lazy_ = false) ?max_rounds ~start ~target
+    () =
+  if Graph.n g = 0 then invalid_arg "Cobra.hitting_time: empty graph";
+  if Bitset.capacity start <> Graph.n g then
+    invalid_arg "Cobra.hitting_time: start set capacity does not match the graph";
+  if Bitset.is_empty start then invalid_arg "Cobra.hitting_time: empty start set";
+  if target < 0 || target >= Graph.n g then
+    invalid_arg "Cobra.hitting_time: target vertex out of range";
+  Process.validate_branching branching;
+  let max_rounds = Option.value max_rounds ~default:(default_max_rounds g) in
+  if Bitset.mem start target then Some 0
+  else begin
+    let current = Bitset.copy start in
+    let next = Bitset.create (Graph.n g) in
+    let rounds = ref 0 in
+    let result = ref None in
+    (try
+       while !rounds < max_rounds do
+         incr rounds;
+         ignore (Process.cobra_step g rng ~branching ~lazy_ ~current ~next : int);
+         Bitset.blit ~src:next ~dst:current;
+         if Bitset.mem current target then begin
+           result := Some !rounds;
+           raise Exit
+         end
+       done
+     with Exit -> ());
+    !result
+  end

@@ -1,0 +1,46 @@
+(** Full executions of the COBRA process.
+
+    [cover(u)] is the number of rounds until every vertex has received a
+    particle at least once, starting from [C_0 = {u}] (Section 1).  All
+    runners take a [max_rounds] cap and report non-termination explicitly
+    instead of looping forever — essential for plain (non-lazy) runs on
+    bipartite graphs, which can fail to cover. *)
+
+type run = {
+  rounds : int;  (** Rounds until full coverage. *)
+  transmissions : int;
+      (** Total particles sent across the run: [b] per active vertex per
+          round — the communication-cost metric COBRA is designed to keep
+          low. *)
+  visited_sizes : int array;
+      (** [visited_sizes.(t)] is [|C_0 ∪ ... ∪ C_t|]; length [rounds+1]. *)
+  active_sizes : int array;
+      (** [active_sizes.(t)] is [|C_t|]; length [rounds+1]. *)
+}
+
+val run_cover :
+  Cobra_graph.Graph.t -> Cobra_prng.Rng.t -> ?branching:Process.branching -> ?lazy_:bool ->
+  ?max_rounds:int -> start:int -> unit -> int option
+(** [run_cover g rng ~start ()] simulates until coverage and returns the
+    number of rounds, or [None] if [max_rounds] (default
+    [10^7 / sqrt n], at least [10^5]) elapses first.  Defaults:
+    [branching = Fixed 2], [lazy_ = false].
+
+    @raise Invalid_argument if [start] is out of range or the graph is
+    empty. *)
+
+val run_cover_detailed :
+  Cobra_graph.Graph.t -> Cobra_prng.Rng.t -> ?branching:Process.branching -> ?lazy_:bool ->
+  ?max_rounds:int -> start:int -> unit -> run option
+(** As {!run_cover} but records the trajectory. *)
+
+val hitting_time :
+  Cobra_graph.Graph.t -> Cobra_prng.Rng.t -> ?branching:Process.branching -> ?lazy_:bool ->
+  ?max_rounds:int -> start:Cobra_bitset.Bitset.t -> target:int -> unit -> int option
+(** [hitting_time g rng ~start ~target ()] is [Hit(target)], the first
+    round at which [target] holds a particle when [C_0 = start] — the
+    quantity related to BIPS by the duality Theorem 1.3.  Round 0 counts:
+    if [target] is in [start] the result is [Some 0]. *)
+
+val default_max_rounds : Cobra_graph.Graph.t -> int
+(** The cap used when [max_rounds] is omitted. *)

@@ -1,0 +1,50 @@
+module Graph = Cobra_graph.Graph
+module Bitset = Cobra_bitset.Bitset
+
+type estimate = { cobra_miss : float; bips_miss : float; stderr : float; trials : int }
+
+let check ~pool ~master_seed ~trials ?(branching = Process.Fixed 2) ?(lazy_ = false) g ~c_set ~v
+    ~t =
+  if Bitset.is_empty c_set then invalid_arg "Duality.check: C must be non-empty";
+  if v < 0 || v >= Graph.n g then invalid_arg "Duality.check: v out of range";
+  if t < 0 then invalid_arg "Duality.check: negative horizon";
+  if trials < 1 then invalid_arg "Duality.check: trials must be >= 1";
+  Process.validate_branching branching;
+  (* COBRA side: Hit(v) > t iff v never receives a particle within t
+     rounds starting from C_0 = c_set. *)
+  let cobra_side ~trial rng =
+    ignore trial;
+    match
+      Cobra.hitting_time g rng ~branching ~lazy_ ~max_rounds:t ~start:c_set ~target:v ()
+    with
+    | Some h -> if h > t then 1.0 else 0.0
+    | None -> 1.0 (* not hit within the horizon *)
+  in
+  (* BIPS side: C ∩ A_t = ∅ for BIPS with source v. *)
+  let bips_side ~trial rng =
+    ignore trial;
+    let infected = Bips.infected_after g rng ~branching ~lazy_ ~rounds:t ~source:v () in
+    if Bitset.intersects infected c_set then 0.0 else 1.0
+  in
+  let mean xs = Array.fold_left ( +. ) 0.0 xs /. float_of_int (Array.length xs) in
+  let cobra_hits =
+    Cobra_parallel.Montecarlo.run ~pool ~master_seed ~trials cobra_side
+  in
+  (* Decorrelate the two ensembles: derive an independent master seed for
+     the BIPS side so trial i of each ensemble shares no randomness. *)
+  let bips_hits =
+    Cobra_parallel.Montecarlo.run ~pool ~master_seed:(master_seed + 0x5EED) ~trials bips_side
+  in
+  let p1 = mean cobra_hits and p2 = mean bips_hits in
+  let nf = float_of_int trials in
+  let var p = p *. (1.0 -. p) /. nf in
+  { cobra_miss = p1; bips_miss = p2; stderr = sqrt (var p1 +. var p2); trials }
+
+let scan ~pool ~master_seed ~trials ?branching ?lazy_ g ~c_set ~v ~ts =
+  List.mapi
+    (fun i t ->
+      (t, check ~pool ~master_seed:(master_seed + (1_000_003 * i)) ~trials ?branching ?lazy_ g ~c_set ~v ~t))
+    ts
+
+let max_abs_gap scans =
+  List.fold_left (fun acc (_, e) -> Float.max acc (Float.abs (e.cobra_miss -. e.bips_miss))) 0.0 scans

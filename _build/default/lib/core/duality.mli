@@ -1,0 +1,43 @@
+(** Empirical verification of the COBRA–BIPS duality (Theorem 1.3).
+
+    The theorem states the exact identity, for every graph [G], vertex
+    [v], non-empty set [C] and horizon [T >= 0]:
+
+    [P̂(Hit(v) > T | C_0 = C)  =  P(C ∩ A_T = ∅ | A_0 = {v})]
+
+    — the left side in the COBRA process started from [C], the right side
+    in the BIPS process with persistent source [v].  Both sides are
+    estimated by independent Monte Carlo; the identity predicts the two
+    estimators agree up to binomial sampling error, which is what the
+    duality experiment (E3) and the property tests assert. *)
+
+type estimate = {
+  cobra_miss : float;  (** Estimate of [P̂(Hit(v) > T | C_0 = C)]. *)
+  bips_miss : float;  (** Estimate of [P(C ∩ A_T = ∅ | A_0 = {v})]. *)
+  stderr : float;
+      (** Standard error of the {e difference} of the two independent
+          binomial estimators; [|cobra_miss - bips_miss|] should be a
+          small multiple of this when the theorem holds. *)
+  trials : int;
+}
+
+val check :
+  pool:Cobra_parallel.Pool.t -> master_seed:int -> trials:int ->
+  ?branching:Process.branching -> ?lazy_:bool -> Cobra_graph.Graph.t ->
+  c_set:Cobra_bitset.Bitset.t -> v:int -> t:int -> estimate
+(** [check ~pool ~master_seed ~trials g ~c_set ~v ~t] estimates both
+    sides of the identity with [trials] runs each.  The two ensembles use
+    disjoint per-trial seeds.
+
+    @raise Invalid_argument if [c_set] is empty, [v] out of range, or
+    [t < 0]. *)
+
+val scan :
+  pool:Cobra_parallel.Pool.t -> master_seed:int -> trials:int ->
+  ?branching:Process.branching -> ?lazy_:bool -> Cobra_graph.Graph.t ->
+  c_set:Cobra_bitset.Bitset.t -> v:int -> ts:int list -> (int * estimate) list
+(** [scan] is {!check} over several horizons [ts], reusing the argument
+    validation; the per-horizon ensembles are independent. *)
+
+val max_abs_gap : (int * estimate) list -> float
+(** Largest [|cobra_miss - bips_miss|] in a scan, for quick assertions. *)

@@ -1,0 +1,92 @@
+module Graph = Cobra_graph.Graph
+module Props = Cobra_graph.Props
+
+type result = {
+  summary : Cobra_stats.Summary.stats;
+  median : float;
+  q90 : float;
+  censored : int;
+  mean_transmissions : float;
+}
+
+let start_heuristic g =
+  if Graph.n g = 0 then invalid_arg "Estimate.start_heuristic: empty graph";
+  let far_from u =
+    let d = Props.bfs_distances g u in
+    let best = ref u and bestd = ref 0 in
+    Array.iteri
+      (fun v x ->
+        if x > !bestd then begin
+          best := v;
+          bestd := x
+        end)
+      d;
+    !best
+  in
+  far_from (far_from 0)
+
+(* Gather per-trial (value, transmissions) observations, where a negative
+   value marks a censored trial. *)
+let collect ~pool ~master_seed ~trials run_one =
+  if trials < 1 then invalid_arg "Estimate: trials must be >= 1";
+  let obs = Cobra_parallel.Montecarlo.run ~pool ~master_seed ~trials run_one in
+  let completed = Array.of_list (List.filter (fun (v, _) -> v >= 0.0) (Array.to_list obs)) in
+  let censored = trials - Array.length completed in
+  if Array.length completed = 0 then
+    {
+      summary = Cobra_stats.Summary.of_array [| nan |];
+      median = nan;
+      q90 = nan;
+      censored;
+      mean_transmissions = nan;
+    }
+  else begin
+    let values = Array.map fst completed in
+    let txs = Array.map snd completed in
+    let mean a = Array.fold_left ( +. ) 0.0 a /. float_of_int (Array.length a) in
+    {
+      summary = Cobra_stats.Summary.of_array values;
+      median = Cobra_stats.Quantile.median values;
+      q90 = Cobra_stats.Quantile.quantile values 0.9;
+      censored;
+      mean_transmissions = mean txs;
+    }
+  end
+
+let cover_time ~pool ~master_seed ~trials ?branching ?lazy_ ?max_rounds ?start g =
+  let start = match start with Some s -> s | None -> start_heuristic g in
+  collect ~pool ~master_seed ~trials (fun ~trial rng ->
+      ignore trial;
+      match Cobra.run_cover_detailed g rng ?branching ?lazy_ ?max_rounds ~start () with
+      | Some r -> (float_of_int r.rounds, float_of_int r.transmissions)
+      | None -> (-1.0, nan))
+
+let infection_time ~pool ~master_seed ~trials ?branching ?lazy_ ?max_rounds ?source g =
+  let source = match source with Some s -> s | None -> start_heuristic g in
+  let r =
+    collect ~pool ~master_seed ~trials (fun ~trial rng ->
+        ignore trial;
+        match Bips.run_infection g rng ?branching ?lazy_ ?max_rounds ~source () with
+        | Some t -> (float_of_int t, nan)
+        | None -> (-1.0, nan))
+  in
+  { r with mean_transmissions = nan }
+
+let walk_cover_time ~pool ~master_seed ~trials ?lazy_ ?max_steps ?start g =
+  let start = match start with Some s -> s | None -> start_heuristic g in
+  let r =
+    collect ~pool ~master_seed ~trials (fun ~trial rng ->
+        ignore trial;
+        match Walk.cover_time g rng ?lazy_ ?max_steps ~start () with
+        | Some t -> (float_of_int t, float_of_int t)
+        | None -> (-1.0, nan))
+  in
+  r
+
+let multi_walk_cover_time ~pool ~master_seed ~trials ~k ?lazy_ ?max_rounds ?start g =
+  let start = match start with Some s -> s | None -> start_heuristic g in
+  collect ~pool ~master_seed ~trials (fun ~trial rng ->
+      ignore trial;
+      match Walk.multi_cover_time g rng ?lazy_ ?max_rounds ~k ~start () with
+      | Some t -> (float_of_int t, float_of_int (t * k))
+      | None -> (-1.0, nan))

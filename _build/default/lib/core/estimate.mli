@@ -1,0 +1,48 @@
+(** Monte-Carlo estimators for cover, infection and hitting times.
+
+    These wrap the process runners in the deterministic parallel driver
+    and return both moment summaries and quantiles, which is what the
+    experiment tables report.  Trials that hit the round cap are counted
+    separately ([censored]) and excluded from the summary — silently
+    mixing the cap value into means would corrupt ratios against
+    bounds, so non-termination is surfaced instead. *)
+
+type result = {
+  summary : Cobra_stats.Summary.stats;
+  median : float;
+  q90 : float;  (** 90th percentile — a proxy for the w.h.p. statement. *)
+  censored : int;  (** Trials that exceeded the round cap. *)
+  mean_transmissions : float;
+      (** Mean total transmissions per completed trial (COBRA only;
+          [nan] for BIPS estimates). *)
+}
+
+val start_heuristic : Cobra_graph.Graph.t -> int
+(** A worst-case-ish start vertex: the far endpoint of a double BFS sweep
+    (an eccentricity-maximising heuristic).  [COVER(G)] maximises over
+    starts; the sweeps use this vertex so path-like graphs are probed
+    from their hard end. *)
+
+val cover_time :
+  pool:Cobra_parallel.Pool.t -> master_seed:int -> trials:int ->
+  ?branching:Process.branching -> ?lazy_:bool -> ?max_rounds:int -> ?start:int ->
+  Cobra_graph.Graph.t -> result
+(** COBRA cover time from [start] (default {!start_heuristic}).
+    @raise Invalid_argument if [trials < 1]. *)
+
+val infection_time :
+  pool:Cobra_parallel.Pool.t -> master_seed:int -> trials:int ->
+  ?branching:Process.branching -> ?lazy_:bool -> ?max_rounds:int -> ?source:int ->
+  Cobra_graph.Graph.t -> result
+(** BIPS infection time with persistent source [source] (default
+    {!start_heuristic}). *)
+
+val walk_cover_time :
+  pool:Cobra_parallel.Pool.t -> master_seed:int -> trials:int -> ?lazy_:bool ->
+  ?max_steps:int -> ?start:int -> Cobra_graph.Graph.t -> result
+(** Simple-random-walk cover time (steps), the [b = 1] baseline. *)
+
+val multi_walk_cover_time :
+  pool:Cobra_parallel.Pool.t -> master_seed:int -> trials:int -> k:int -> ?lazy_:bool ->
+  ?max_rounds:int -> ?start:int -> Cobra_graph.Graph.t -> result
+(** Cover time (rounds) of [k] independent walks from a common start. *)

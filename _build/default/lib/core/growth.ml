@@ -1,0 +1,79 @@
+module Graph = Cobra_graph.Graph
+
+type observation = { size_before : int; size_after : int; candidate_size : int }
+
+let sample ~pool ~master_seed ~trajectories ?branching ?lazy_ ?max_rounds ?(source = 0) g =
+  if trajectories < 1 then invalid_arg "Growth.sample: trajectories must be >= 1";
+  let per_trial =
+    Cobra_parallel.Montecarlo.run ~pool ~master_seed ~trials:trajectories (fun ~trial rng ->
+        ignore trial;
+        match Bips.run_trajectory g rng ?branching ?lazy_ ?max_rounds ~source () with
+        | Some t ->
+            Array.init t.rounds (fun i ->
+                {
+                  size_before = t.sizes.(i);
+                  size_after = t.sizes.(i + 1);
+                  candidate_size = t.candidate_sizes.(i);
+                })
+        | None -> [||])
+  in
+  Array.concat (Array.to_list per_trial)
+
+type band = {
+  lo : int;
+  hi : int;
+  count : int;
+  mean_growth : float;
+  lemma41_growth : float;
+  min_candidate_ratio : float;
+}
+
+let bands ~n ~lambda ~branching ?(num_bands = 12) obs =
+  if num_bands < 1 then invalid_arg "Growth.bands: num_bands must be >= 1";
+  let rho =
+    match branching with
+    | Process.Fixed 1 -> 0.0
+    | Process.Fixed _ -> 1.0 (* Lemma 4.1 is the b = 2 case (rho = 1). *)
+    | Process.Bernoulli rho -> rho
+  in
+  (* Geometric band edges 1, 2, 4, ... n (deduplicated for small n). *)
+  let edges =
+    let rec build acc x =
+      if x >= n then List.rev (n :: acc)
+      else build (x :: acc) (max (x + 1) (2 * x))
+    in
+    build [] 1
+  in
+  let rec pairs = function a :: (b :: _ as rest) -> (a, b) :: pairs rest | _ -> [] in
+  let all_bands = pairs edges in
+  List.filter_map
+    (fun (lo, hi) ->
+      let in_band o = o.size_before >= lo && o.size_before < hi in
+      let sel = Array.of_list (List.filter in_band (Array.to_list obs)) in
+      if Array.length sel = 0 then None
+      else begin
+        let count = Array.length sel in
+        let cf = float_of_int count in
+        let mean_growth =
+          Array.fold_left
+            (fun acc o -> acc +. (float_of_int o.size_after /. float_of_int o.size_before))
+            0.0 sel
+          /. cf
+        in
+        let mean_size =
+          Array.fold_left (fun acc o -> acc +. float_of_int o.size_before) 0.0 sel /. cf
+        in
+        let lemma41_growth =
+          1.0 +. (rho *. (1.0 -. (lambda *. lambda)) *. (1.0 -. (mean_size /. float_of_int n)))
+        in
+        let min_candidate_ratio =
+          Array.fold_left
+            (fun acc o ->
+              if 2 * o.size_before <= n then
+                Float.min acc (float_of_int o.candidate_size /. float_of_int o.size_before)
+              else acc)
+            infinity sel
+        in
+        Some { lo; hi; count; mean_growth; lemma41_growth; min_candidate_ratio }
+      end)
+    all_bands

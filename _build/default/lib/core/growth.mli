@@ -1,0 +1,48 @@
+(** Per-round growth measurements for the BIPS inequalities.
+
+    The engine behind experiments E7/E8: it samples BIPS trajectories and
+    records, for each round, the infected size before and after the round
+    and the candidate-set size — the three quantities related by
+    Lemma 4.1 ([E|A_{t+1}| >= |A_t| (1 + (1-lambda^2)(1 - |A_t|/n))]),
+    its [1+rho] analogue Lemma 4.2, and Corollary 5.2
+    ([|C_t| >= |A_{t-1}|(1-lambda)/2] while [|A_{t-1}| <= n/2]).
+
+    Observations are grouped by the size of the infected set entering the
+    round, so the empirical conditional growth can be compared with the
+    formula band by band. *)
+
+type observation = {
+  size_before : int;  (** [|A_t|]. *)
+  size_after : int;  (** [|A_{t+1}|]. *)
+  candidate_size : int;  (** [|C_{t+1}|], definition (6). *)
+}
+
+val sample :
+  pool:Cobra_parallel.Pool.t -> master_seed:int -> trajectories:int ->
+  ?branching:Process.branching -> ?lazy_:bool -> ?max_rounds:int -> ?source:int ->
+  Cobra_graph.Graph.t -> observation array
+(** [sample ~pool ~master_seed ~trajectories g] concatenates per-round
+    observations from [trajectories] independent BIPS runs (source
+    defaults to vertex 0). Runs that hit the cap contribute the rounds
+    they did execute. *)
+
+type band = {
+  lo : int;  (** Band covers [lo <= size_before < hi]. *)
+  hi : int;
+  count : int;
+  mean_growth : float;  (** Mean of [size_after / size_before]. *)
+  lemma41_growth : float;
+      (** The Lemma 4.1 / 4.2 prediction evaluated at the band's mean
+          [size_before]: [1 + rho (1-lambda^2)(1 - mean_size/n)]. *)
+  min_candidate_ratio : float;
+      (** Minimum observed [candidate_size / size_before] over the band
+          (only rounds with [size_before <= n/2]); Corollary 5.2 predicts
+          this stays above [(1-lambda)/2], and infinity if no such round. *)
+}
+
+val bands :
+  n:int -> lambda:float -> branching:Process.branching -> ?num_bands:int ->
+  observation array -> band list
+(** [bands ~n ~lambda ~branching obs] groups observations into
+    geometrically growing size bands and evaluates the paper's formulas
+    per band. *)

@@ -1,0 +1,40 @@
+type split = {
+  start_rounds : int;
+  bulk_rounds : int;
+  tail_rounds : int;
+  small_threshold : int;
+}
+
+let split ~n ~small_threshold ~sizes =
+  let len = Array.length sizes in
+  if len = 0 || sizes.(len - 1) <> n then
+    invalid_arg "Phases.split: trajectory must end with full infection";
+  let bulk_threshold = max small_threshold (n / 4) in
+  if small_threshold < 1 then invalid_arg "Phases.split: threshold must be >= 1";
+  let first_reaching threshold =
+    let rec go t = if sizes.(t) >= threshold then t else go (t + 1) in
+    go 0
+  in
+  let t_small = first_reaching (min small_threshold n) in
+  let t_bulk = first_reaching (min bulk_threshold n) in
+  let t_end = len - 1 in
+  {
+    start_rounds = t_small;
+    bulk_rounds = t_bulk - t_small;
+    tail_rounds = t_end - t_bulk;
+    small_threshold;
+  }
+
+let default_small_threshold ~n ~lambda =
+  let gap = Float.max 1e-9 (1.0 -. lambda) in
+  let v = int_of_float (Float.round (log (float_of_int (max 2 n)) /. gap)) in
+  max 1 (min v (max 1 (n / 4)))
+
+let mean_splits splits =
+  match splits with
+  | [] -> invalid_arg "Phases.mean_splits: empty list"
+  | _ ->
+      let k = float_of_int (List.length splits) in
+      let sum f = List.fold_left (fun acc s -> acc +. float_of_int (f s)) 0.0 splits in
+      (sum (fun s -> s.start_rounds) /. k, sum (fun s -> s.bulk_rounds) /. k,
+       sum (fun s -> s.tail_rounds) /. k)

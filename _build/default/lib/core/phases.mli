@@ -1,0 +1,31 @@
+(** Phase decomposition of BIPS infection trajectories.
+
+    The regular-graph analysis (Sections 4–5) divides a BIPS run into
+    three phases: a slow {e start} while the infection is small, an
+    exponential {e bulk} until size [Theta(n)], and a {e tail} completing
+    the last vertices in [O(log n / (1 - lambda))] rounds.  The paper's
+    improvement over PODC'16 comes precisely from ending the first phase
+    earlier (at size ~[log n / (1-lambda)] instead of
+    [log n / (1-lambda)^2]).  Experiment E11 visualises this structure;
+    this module extracts the phase boundaries from a size trajectory. *)
+
+type split = {
+  start_rounds : int;  (** Rounds until the size first reaches [small]. *)
+  bulk_rounds : int;  (** Further rounds until size first reaches [n/4]. *)
+  tail_rounds : int;  (** Remaining rounds until full infection. *)
+  small_threshold : int;  (** The threshold used for [start_rounds]. *)
+}
+
+val split :
+  n:int -> small_threshold:int -> sizes:int array -> split
+(** [split ~n ~small_threshold ~sizes] decomposes a completed trajectory
+    ([sizes.(last) = n]).
+    @raise Invalid_argument if the trajectory does not end at [n] or
+    thresholds are out of order. *)
+
+val default_small_threshold : n:int -> lambda:float -> int
+(** The paper's new phase-1 target [log n / (1 - lambda)], clamped to
+    [[1, n/4]]. *)
+
+val mean_splits : split list -> float * float * float
+(** Component-wise means of (start, bulk, tail) over several runs. *)

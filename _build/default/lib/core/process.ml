@@ -1,0 +1,114 @@
+module Graph = Cobra_graph.Graph
+module Bitset = Cobra_bitset.Bitset
+module Rng = Cobra_prng.Rng
+
+type branching = Fixed of int | Bernoulli of float
+
+let validate_branching = function
+  | Fixed b -> if b < 1 then invalid_arg "Process: branching factor must be >= 1"
+  | Bernoulli rho ->
+      if not (rho >= 0.0 && rho <= 1.0) then
+        invalid_arg "Process: Bernoulli branching needs rho in [0, 1]"
+
+let expected_branching_factor = function
+  | Fixed b -> float_of_int b
+  | Bernoulli rho -> 1.0 +. rho
+
+(* Number of neighbour selections a vertex makes this round. *)
+let draw_fanout rng = function
+  | Fixed b -> b
+  | Bernoulli rho -> if Rng.bernoulli rng rho then 2 else 1
+
+let select g rng ~lazy_ u =
+  if lazy_ && Rng.bool rng then u else Graph.random_neighbor g rng u
+
+let cobra_step g rng ~branching ~lazy_ ~current ~next =
+  validate_branching branching;
+  Bitset.clear next;
+  let transmissions = ref 0 in
+  Bitset.iter
+    (fun u ->
+      let fanout = draw_fanout rng branching in
+      for _ = 1 to fanout do
+        Bitset.add next (select g rng ~lazy_ u);
+        incr transmissions
+      done)
+    current;
+  !transmissions
+
+let cobra_step_without_replacement g rng ~b ~current ~next =
+  if b < 1 then invalid_arg "Process: branching factor must be >= 1";
+  Bitset.clear next;
+  let transmissions = ref 0 in
+  Bitset.iter
+    (fun u ->
+      let d = Graph.degree g u in
+      if d <= b then
+        (* Fewer neighbours than the fan-out: inform all of them. *)
+        Graph.iter_neighbors g u (fun v ->
+            Bitset.add next v;
+            incr transmissions)
+      else begin
+        (* Floyd's algorithm: sample b distinct indices from [0, d). *)
+        let chosen = ref [] in
+        for j = d - b to d - 1 do
+          let r = Rng.int_below rng (j + 1) in
+          let pick = if List.mem r !chosen then j else r in
+          chosen := pick :: !chosen
+        done;
+        List.iter
+          (fun i ->
+            Bitset.add next (Graph.neighbor g u i);
+            incr transmissions)
+          !chosen
+      end)
+    current;
+  !transmissions
+
+let bips_step g rng ~branching ~lazy_ ~source ~current ~next =
+  validate_branching branching;
+  Bitset.clear next;
+  let n = Graph.n g in
+  for u = 0 to n - 1 do
+    if u <> source then begin
+      let fanout = draw_fanout rng branching in
+      let infected = ref false in
+      for _ = 1 to fanout do
+        (* All [fanout] selections are always made, matching the process
+           definition; short-circuiting after a hit would not change the
+           law of A_{t+1} but would change the stream of random draws,
+           and reproducibility across variants is worth two extra calls. *)
+        if Bitset.mem current (select g rng ~lazy_ u) then infected := true
+      done;
+      if !infected then Bitset.add next u
+    end
+  done;
+  Bitset.add next source
+
+let sis_step g rng ~branching ~lazy_ ~current ~next =
+  validate_branching branching;
+  Bitset.clear next;
+  let n = Graph.n g in
+  for u = 0 to n - 1 do
+    let fanout = draw_fanout rng branching in
+    let infected = ref false in
+    for _ = 1 to fanout do
+      if Bitset.mem current (select g rng ~lazy_ u) then infected := true
+    done;
+    if !infected then Bitset.add next u
+  done
+
+let bips_candidate_set g ~source ~current ~into =
+  Bitset.clear into;
+  (* C = (N(A) ∪ {v}) \ B_fix, with B_fix = { u : N(u) ⊆ A }. *)
+  let in_neighborhood u =
+    Graph.fold_neighbors g u (fun acc v -> acc || Bitset.mem current v) false
+  in
+  let all_neighbors_infected u =
+    Graph.fold_neighbors g u (fun acc v -> acc && Bitset.mem current v) true
+  in
+  let n = Graph.n g in
+  for u = 0 to n - 1 do
+    if (u = source || in_neighborhood u) && not (all_neighbors_infected u) then
+      Bitset.add into u
+  done

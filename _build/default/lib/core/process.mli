@@ -1,0 +1,93 @@
+(** One synchronous round of the COBRA and BIPS processes.
+
+    These are the exact set processes of the paper (Section 1):
+
+    {b COBRA} with starting set [C0 = C] and branching factor [b]: each
+    vertex [v] in [C_t] independently chooses [b] neighbours uniformly at
+    random {e with replacement}, and [C_{t+1}] is the set of all chosen
+    vertices (multiple particles arriving at a vertex coalesce into one).
+
+    {b BIPS} with persistent source [v]: every vertex [u <> v]
+    independently chooses [b] neighbours uniformly with replacement and
+    belongs to [A_{t+1}] iff at least one choice lies in [A_t]; the source
+    belongs to every [A_t].
+
+    Both processes support the paper's branching variants:
+    - [Fixed b] for integer [b >= 1] ([Fixed 1] is the simple random walk
+      in COBRA form, [Fixed 2] the main object of study);
+    - [Bernoulli rho] for expected branching factor [1 + rho]
+      (Section 6): a particle splits in two with probability [rho];
+      dually a BIPS vertex samples two neighbours with probability [rho]
+      and one otherwise.
+
+    The [lazy_] flag implements the lazy variants: each individual
+    neighbour selection is replaced, with probability 1/2, by the vertex
+    itself.  On bipartite graphs the plain processes still run and cover,
+    but the spectral parameter is degenerate ([lambda = 1]) so the
+    paper's regular-graph bounds are stated for the lazy variant there
+    (remark after Theorem 1.2); the lazy walk's eigenvalues
+    [(1 + lambda_i)/2] are non-negative, restoring a positive gap.
+
+    Sets are {!Cobra_bitset.Bitset.t} over the vertex universe; the step
+    functions write into a caller-provided [next] set so the simulation
+    loop runs allocation-free. *)
+
+type branching =
+  | Fixed of int  (** [b] independent uniform neighbour choices. *)
+  | Bernoulli of float
+      (** [Bernoulli rho]: two choices with probability [rho], one
+          otherwise — expected branching factor [1 + rho]. *)
+
+val validate_branching : branching -> unit
+(** @raise Invalid_argument on [Fixed b] with [b < 1] or
+    [Bernoulli rho] with [rho] outside [[0, 1]]. *)
+
+val expected_branching_factor : branching -> float
+(** [Fixed b -> float b]; [Bernoulli rho -> 1 + rho]. *)
+
+val cobra_step :
+  Cobra_graph.Graph.t -> Cobra_prng.Rng.t -> branching:branching -> lazy_:bool ->
+  current:Cobra_bitset.Bitset.t -> next:Cobra_bitset.Bitset.t -> int
+(** [cobra_step g rng ~branching ~lazy_ ~current ~next] clears [next] and
+    fills it with [C_{t+1}] given [C_t = current].  Returns the number of
+    transmissions performed this round (one per particle sent, counting
+    lazy self-selections). *)
+
+val cobra_step_without_replacement :
+  Cobra_graph.Graph.t -> Cobra_prng.Rng.t -> b:int ->
+  current:Cobra_bitset.Bitset.t -> next:Cobra_bitset.Bitset.t -> int
+(** Ablation variant: each active vertex sends to [b] {e distinct}
+    uniformly random neighbours (or to all of them when its degree is
+    below [b]).  The paper defines COBRA with replacement; experiment
+    E14 uses this variant to show the choice does not affect the
+    cover-time shape.  Returns the transmissions performed.
+
+    @raise Invalid_argument if [b < 1]. *)
+
+val bips_step :
+  Cobra_graph.Graph.t -> Cobra_prng.Rng.t -> branching:branching -> lazy_:bool ->
+  source:int -> current:Cobra_bitset.Bitset.t -> next:Cobra_bitset.Bitset.t -> unit
+(** [bips_step g rng ~branching ~lazy_ ~source ~current ~next] clears
+    [next] and fills it with [A_{t+1} = Infect(A_t) ∪ {source}] given
+    [A_t = current]. *)
+
+val sis_step :
+  Cobra_graph.Graph.t -> Cobra_prng.Rng.t -> branching:branching -> lazy_:bool ->
+  current:Cobra_bitset.Bitset.t -> next:Cobra_bitset.Bitset.t -> unit
+(** [sis_step] is the BIPS refresh dynamic {e without} a persistent
+    source: every vertex (including previously infected ones) samples
+    its neighbours afresh.  The resulting SIS chain has two absorbing
+    states — all-susceptible and all-infected — and the paper's point
+    that the persistent source forces eventual full infection is
+    exactly the statement that BIPS removes the first one.  Used by the
+    E15 extension experiment. *)
+
+val bips_candidate_set :
+  Cobra_graph.Graph.t -> source:int -> current:Cobra_bitset.Bitset.t ->
+  into:Cobra_bitset.Bitset.t -> unit
+(** [bips_candidate_set g ~source ~current ~into] computes the paper's
+    candidate set (definition (6), Section 3):
+    [C = (N(A) ∪ {v}) \ B_fix] where [B_fix = { u : N(u) ⊆ A }] — the
+    vertices whose membership in the next infected set is genuinely
+    random.  The paper proves [C] is never empty before completion;
+    Corollary 5.2 lower-bounds its size on regular graphs. *)

@@ -1,0 +1,45 @@
+module Graph = Cobra_graph.Graph
+module Bitset = Cobra_bitset.Bitset
+
+type outcome = Extinct of int | Saturated of int | Censored
+
+let run_loop g rng ~branching ~lazy_ ~max_rounds ~record ~initial =
+  let n = Graph.n g in
+  if Bitset.capacity initial <> n then
+    invalid_arg "Sis: initial set capacity does not match the graph";
+  Process.validate_branching branching;
+  let current = Bitset.copy initial in
+  let next = Bitset.create n in
+  let sizes = ref [ Bitset.cardinal current ] in
+  let rounds = ref 0 in
+  let outcome = ref Censored in
+  (try
+     let classify () =
+       let c = Bitset.cardinal current in
+       if c = 0 then begin
+         outcome := Extinct !rounds;
+         raise Exit
+       end
+       else if c = n then begin
+         outcome := Saturated !rounds;
+         raise Exit
+       end
+     in
+     classify ();
+     while !rounds < max_rounds do
+       incr rounds;
+       Process.sis_step g rng ~branching ~lazy_ ~current ~next;
+       Bitset.blit ~src:next ~dst:current;
+       if record then sizes := Bitset.cardinal current :: !sizes;
+       classify ()
+     done
+   with Exit -> ());
+  (!outcome, Array.of_list (List.rev !sizes))
+
+let run g rng ?(branching = Process.Fixed 2) ?(lazy_ = false) ?max_rounds ~initial () =
+  let max_rounds = Option.value max_rounds ~default:(Cobra.default_max_rounds g) in
+  fst (run_loop g rng ~branching ~lazy_ ~max_rounds ~record:false ~initial)
+
+let run_trajectory g rng ?(branching = Process.Fixed 2) ?(lazy_ = false) ?max_rounds ~initial () =
+  let max_rounds = Option.value max_rounds ~default:(Cobra.default_max_rounds g) in
+  run_loop g rng ~branching ~lazy_ ~max_rounds ~record:true ~initial

@@ -1,0 +1,33 @@
+(** Simple and multiple random walks — the classical baselines.
+
+    COBRA with [b = 1] {e is} a simple random walk; the paper's
+    introduction contrasts COBRA's cover time with the walk's
+    [Omega(n log n)] lower bound and with multiple independent random
+    walks (Alon et al.; Elsässer, Sauerwald).  A dedicated token-based
+    implementation is used instead of the set-based engine because a
+    single walk needs O(1) state per step, allowing the large step counts
+    an [n log n]-time baseline requires. *)
+
+val cover_time :
+  Cobra_graph.Graph.t -> Cobra_prng.Rng.t -> ?lazy_:bool -> ?max_steps:int -> start:int ->
+  unit -> int option
+(** [cover_time g rng ~start ()] walks until all vertices are visited and
+    returns the number of steps, or [None] after [max_steps] (default
+    [200 * n^2], comfortably above the [O(n^3)] worst case at test
+    sizes... capped at [10^9]).
+
+    @raise Invalid_argument on an empty graph or bad start. *)
+
+val multi_cover_time :
+  Cobra_graph.Graph.t -> Cobra_prng.Rng.t -> ?lazy_:bool -> ?max_rounds:int -> k:int ->
+  start:int -> unit -> int option
+(** [multi_cover_time g rng ~k ~start ()] runs [k] independent walks, all
+    from [start], advancing one step each per synchronous round; returns
+    the first round at which their union has covered the graph.  With
+    [k = 1] this is {!cover_time} in round units.
+
+    @raise Invalid_argument if [k < 1]. *)
+
+val transmissions_per_round : k:int -> int
+(** Communication cost of the multi-walk process per round ([k] — one
+    transmission per token), for equal-budget comparisons with COBRA. *)

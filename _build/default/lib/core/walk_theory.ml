@@ -1,0 +1,149 @@
+module Graph = Cobra_graph.Graph
+module Props = Cobra_graph.Props
+
+let hitting_times ?(tol = 1e-10) ?(max_sweeps = 1_000_000) g ~target =
+  let n = Graph.n g in
+  if target < 0 || target >= n then invalid_arg "Walk_theory.hitting_times: target out of range";
+  if not (Props.is_connected g) then
+    invalid_arg "Walk_theory.hitting_times: graph must be connected";
+  let h = Array.make n 0.0 in
+  (* Seed with BFS distances: the right order of magnitude, cutting the
+     number of sweeps substantially on path-like graphs. *)
+  let d = Props.bfs_distances g target in
+  for u = 0 to n - 1 do
+    h.(u) <- float_of_int (d.(u) * n)
+  done;
+  h.(target) <- 0.0;
+  let sweep () =
+    (* Gauss–Seidel: update in place, return the largest change. *)
+    let delta = ref 0.0 in
+    for u = 0 to n - 1 do
+      if u <> target then begin
+        let sum = Graph.fold_neighbors g u (fun acc v -> acc +. h.(v)) 0.0 in
+        let updated = 1.0 +. (sum /. float_of_int (Graph.degree g u)) in
+        let change = Float.abs (updated -. h.(u)) in
+        if change > !delta then delta := change;
+        h.(u) <- updated
+      end
+    done;
+    !delta
+  in
+  let sweeps = ref 0 in
+  while sweep () > tol && !sweeps < max_sweeps do
+    incr sweeps
+  done;
+  h
+
+(* Dense Gauss-Jordan inversion with partial pivoting. *)
+let invert_in_place a =
+  let n = Array.length a in
+  let inv = Array.init n (fun i -> Array.init n (fun j -> if i = j then 1.0 else 0.0)) in
+  for col = 0 to n - 1 do
+    let pivot = ref col in
+    for row = col + 1 to n - 1 do
+      if Float.abs a.(row).(col) > Float.abs a.(!pivot).(col) then pivot := row
+    done;
+    if Float.abs a.(!pivot).(col) < 1e-12 then
+      failwith "Walk_theory: singular matrix (disconnected graph?)";
+    let swap m =
+      let tmp = m.(col) in
+      m.(col) <- m.(!pivot);
+      m.(!pivot) <- tmp
+    in
+    swap a;
+    swap inv;
+    let d = a.(col).(col) in
+    for j = 0 to n - 1 do
+      a.(col).(j) <- a.(col).(j) /. d;
+      inv.(col).(j) <- inv.(col).(j) /. d
+    done;
+    for row = 0 to n - 1 do
+      if row <> col then begin
+        let f = a.(row).(col) in
+        if f <> 0.0 then
+          for j = 0 to n - 1 do
+            a.(row).(j) <- a.(row).(j) -. (f *. a.(col).(j));
+            inv.(row).(j) <- inv.(row).(j) -. (f *. inv.(col).(j))
+          done
+      end
+    done
+  done;
+  inv
+
+let laplacian_pseudoinverse g =
+  let n = Graph.n g in
+  if not (Props.is_connected g) then
+    invalid_arg "Walk_theory.laplacian_pseudoinverse: graph must be connected";
+  if n > 1500 then invalid_arg "Walk_theory.laplacian_pseudoinverse: n too large for dense solve";
+  let jn = 1.0 /. float_of_int n in
+  (* M = L + J/n, whose inverse is L^+ + J/n. *)
+  let m = Array.init n (fun _ -> Array.make n jn) in
+  for u = 0 to n - 1 do
+    m.(u).(u) <- m.(u).(u) +. float_of_int (Graph.degree g u);
+    Graph.iter_neighbors g u (fun v -> m.(u).(v) <- m.(u).(v) -. 1.0)
+  done;
+  let minv = invert_in_place m in
+  for u = 0 to n - 1 do
+    for v = 0 to n - 1 do
+      minv.(u).(v) <- minv.(u).(v) -. jn
+    done
+  done;
+  minv
+
+let all_hitting_times g =
+  let n = Graph.n g in
+  let lp = laplacian_pseudoinverse g in
+  (* Precompute s(v) = sum_k d(k) L+_{vk} so that
+     H(u,v) = s(u)... careful: H(u,v) = sum_k d(k)(L+_{uk} - L+_{uv} - L+_{vk} + L+_{vv})
+            = s(u) - 2m L+_{uv} - s(v) + 2m L+_{vv}. *)
+  let two_m = float_of_int (Graph.total_degree g) in
+  let s = Array.make n 0.0 in
+  for v = 0 to n - 1 do
+    let acc = ref 0.0 in
+    for k = 0 to n - 1 do
+      acc := !acc +. (float_of_int (Graph.degree g k) *. lp.(v).(k))
+    done;
+    s.(v) <- !acc
+  done;
+  Array.init n (fun u ->
+      Array.init n (fun v ->
+          if u = v then 0.0 else s.(u) -. s.(v) +. (two_m *. (lp.(v).(v) -. lp.(u).(v)))))
+
+let max_hitting_time ?tol g =
+  ignore tol;
+  let h = all_hitting_times g in
+  Array.fold_left (fun acc row -> Array.fold_left Float.max acc row) 0.0 h
+
+let effective_resistance g u v =
+  let lp = laplacian_pseudoinverse g in
+  lp.(u).(u) +. lp.(v).(v) -. (2.0 *. lp.(u).(v))
+
+let harmonic k =
+  let s = ref 0.0 in
+  for i = 1 to k do
+    s := !s +. (1.0 /. float_of_int i)
+  done;
+  !s
+
+let matthews_upper g =
+  let n = Graph.n g in
+  if n <= 1 then 0.0 else max_hitting_time g *. harmonic (n - 1)
+
+let matthews_lower g =
+  let n = Graph.n g in
+  if n <= 1 then 0.0
+  else begin
+    let h = all_hitting_times g in
+    let min_hit = ref infinity in
+    for u = 0 to n - 1 do
+      for v = 0 to n - 1 do
+        if u <> v && h.(u).(v) < !min_hit then min_hit := h.(u).(v)
+      done
+    done;
+    !min_hit *. harmonic (n - 1)
+  end
+
+let commute_time ?tol g u v =
+  let hu = hitting_times ?tol g ~target:v in
+  let hv = hitting_times ?tol g ~target:u in
+  hu.(u) +. hv.(v)

@@ -1,0 +1,63 @@
+(** Classical random-walk quantities, computed exactly.
+
+    The [b = 1] baseline of the paper is the simple random walk, whose
+    cover time is classically sandwiched by Matthews' bounds:
+
+    [max_{u,v} H(u,v) * ln n >= E(cover) >= min... ] — precisely,
+    [E(cover) <= H_max * H_n] and [E(cover) >= H_min_pairs * H_{n-1}]
+    with [H_k] the harmonic numbers and [H(u,v)] expected hitting times.
+
+    Hitting times solve the linear system
+    [h(u) = 0] at the target, [h(u) = 1 + avg over neighbours of h]
+    elsewhere; we solve it by Gauss–Seidel sweeps (guaranteed to
+    converge on connected graphs: the system is a diagonally dominant
+    M-matrix).  Exact values let the test suite pin the Monte-Carlo walk
+    engine to theory, and let experiment E9 report how close the b = 1
+    baseline sits to its classical envelope. *)
+
+val hitting_times :
+  ?tol:float -> ?max_sweeps:int -> Cobra_graph.Graph.t -> target:int -> float array
+(** [hitting_times g ~target] is the array [u -> E(H(u, target))] for the
+    simple random walk; entry [target] is 0.  [tol] (default 1e-10) is
+    the max-norm residual threshold; [max_sweeps] defaults to 1e6.
+
+    @raise Invalid_argument on a disconnected graph or bad target. *)
+
+val laplacian_pseudoinverse : Cobra_graph.Graph.t -> float array array
+(** [laplacian_pseudoinverse g] is [L^+], the Moore–Penrose
+    pseudo-inverse of the graph Laplacian, computed densely via the
+    identity [(L + J/n)^{-1} = L^+ + J/n].  O(n^3); intended for [n] up
+    to ~1500.  @raise Invalid_argument on a disconnected graph. *)
+
+val all_hitting_times : Cobra_graph.Graph.t -> float array array
+(** [all_hitting_times g] is the matrix [h.(u).(v) = E(H(u, v))] for all
+    pairs, from [L^+] by the Fouss et al. identity
+    [H(u,v) = sum_k d(k) (L^+_{uk} - L^+_{uv} - L^+_{vk} + L^+_{vv})].
+    O(n^3) total — much faster than [n] iterative solves on
+    slowly-mixing graphs. *)
+
+val max_hitting_time : ?tol:float -> Cobra_graph.Graph.t -> float
+(** [max_hitting_time g] is [max_{u,v} E(H(u, v))], via
+    {!all_hitting_times}.  ([tol] is accepted for interface stability
+    and ignored by the dense path.) *)
+
+val effective_resistance : Cobra_graph.Graph.t -> int -> int -> float
+(** [effective_resistance g u v] between two vertices, from [L^+]:
+    [R(u,v) = L^+_{uu} + L^+_{vv} - 2 L^+_{uv}].  The commute time is
+    [2 m R(u,v)]. *)
+
+val harmonic : int -> float
+(** [harmonic k] is [H_k = 1 + 1/2 + ... + 1/k]; [H_0 = 0]. *)
+
+val matthews_upper : Cobra_graph.Graph.t -> float
+(** Matthews' upper bound on the walk cover time from any start:
+    [H_max * H_{n-1}]. *)
+
+val matthews_lower : Cobra_graph.Graph.t -> float
+(** A Matthews-type lower bound: [min_{u <> v} H(u, v) * H_{n-1}].
+    Coarse but non-trivial on transitive graphs. *)
+
+val commute_time : ?tol:float -> Cobra_graph.Graph.t -> int -> int -> float
+(** [commute_time g u v = H(u,v) + H(v,u)]; by the electrical-network
+    identity this equals [2 m R_eff(u, v)], which the tests exploit on
+    paths and cycles. *)

@@ -1,0 +1,1 @@
+lib/exact/bips_chain.ml: Array Cobra_core Cobra_graph Float Fun List Subset

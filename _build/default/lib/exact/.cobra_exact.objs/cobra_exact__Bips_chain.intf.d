@@ -1,0 +1,1 @@
+lib/exact/bips_chain.mli: Cobra_core Cobra_graph

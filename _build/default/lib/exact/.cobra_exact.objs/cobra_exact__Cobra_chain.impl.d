@@ -1,0 +1,1 @@
+lib/exact/cobra_chain.ml: Array Cobra_core Cobra_graph Hashtbl List Option Subset

@@ -1,0 +1,1 @@
+lib/exact/duality_exact.ml: Array Bips_chain Cobra_chain Float

@@ -1,0 +1,1 @@
+lib/exact/duality_exact.mli: Cobra_core Cobra_graph

@@ -1,0 +1,1 @@
+lib/exact/subset.ml: Cobra_graph Format Printf

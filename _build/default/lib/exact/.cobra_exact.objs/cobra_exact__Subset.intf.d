@@ -1,0 +1,1 @@
+lib/exact/subset.mli: Cobra_graph Format

@@ -1,0 +1,165 @@
+module Graph = Cobra_graph.Graph
+module Process = Cobra_core.Process
+
+type t = {
+  source : int;
+  n : int;
+  states : int; (* 2^(n-1): subsets containing the source, compressed *)
+  matrix : float array array; (* matrix.(a).(a') over compressed states *)
+}
+
+(* Compressed index <-> vertex mask: drop the source bit (always set). *)
+let mask_of_idx ~n ~source idx =
+  ignore n;
+  let low = idx land ((1 lsl source) - 1) in
+  let high = idx lsr source in
+  low lor (high lsl (source + 1)) lor (1 lsl source)
+
+let idx_of_mask ~source mask =
+  if mask land (1 lsl source) = 0 then
+    invalid_arg "Bips_chain: state mask must contain the source";
+  let low = mask land ((1 lsl source) - 1) in
+  let high = mask lsr (source + 1) in
+  low lor (high lsl source)
+
+(* Per-vertex next-round infection probability given A. *)
+let infect_prob g branching lazy_ u a =
+  let d = Graph.degree g u in
+  if d = 0 then 0.0
+  else begin
+    let into = float_of_int (Subset.degree_into g u a) /. float_of_int d in
+    let p1 = if lazy_ then (0.5 *. if Subset.mem a u then 1.0 else 0.0) +. (0.5 *. into) else into in
+    match branching with
+    | Process.Fixed b -> 1.0 -. ((1.0 -. p1) ** float_of_int b)
+    | Process.Bernoulli rho -> 1.0 -. ((1.0 -. p1) *. (1.0 -. (rho *. p1)))
+  end
+
+let make g ?(branching = Process.Fixed 2) ?(lazy_ = false) ~source () =
+  let n = Graph.n g in
+  Subset.check_n n;
+  if n < 1 then invalid_arg "Bips_chain.make: empty graph";
+  if n > 12 then invalid_arg "Bips_chain.make: n <= 12 required";
+  if source < 0 || source >= n then invalid_arg "Bips_chain.make: source out of range";
+  Process.validate_branching branching;
+  let states = 1 lsl (n - 1) in
+  let matrix = Array.make_matrix states states 0.0 in
+  let probs = Array.make n 0.0 in
+  for a_idx = 0 to states - 1 do
+    let a = mask_of_idx ~n ~source a_idx in
+    for u = 0 to n - 1 do
+      if u <> source then probs.(u) <- infect_prob g branching lazy_ u a
+    done;
+    (* Fill the row using the product form. *)
+    let row = matrix.(a_idx) in
+    for a'_idx = 0 to states - 1 do
+      let a' = mask_of_idx ~n ~source a'_idx in
+      let p = ref 1.0 in
+      for u = 0 to n - 1 do
+        if u <> source then
+          p := !p *. (if Subset.mem a' u then probs.(u) else 1.0 -. probs.(u))
+      done;
+      row.(a'_idx) <- !p
+    done
+  done;
+  { source; n; states; matrix }
+
+let n_states t = t.states
+let mask_of_state t idx = mask_of_idx ~n:t.n ~source:t.source idx
+let state_of_mask t mask = idx_of_mask ~source:t.source mask
+
+let transition_probability t a a' =
+  t.matrix.(idx_of_mask ~source:t.source a).(idx_of_mask ~source:t.source a')
+
+let step t dist =
+  let next = Array.make t.states 0.0 in
+  for a = 0 to t.states - 1 do
+    let p = dist.(a) in
+    if p > 0.0 then begin
+      let row = t.matrix.(a) in
+      for a' = 0 to t.states - 1 do
+        next.(a') <- next.(a') +. (p *. row.(a'))
+      done
+    end
+  done;
+  next
+
+let distribution_after t ~rounds =
+  if rounds < 0 then invalid_arg "Bips_chain.distribution_after: negative rounds";
+  let dist = Array.make t.states 0.0 in
+  dist.(state_of_mask t (1 lsl t.source)) <- 1.0;
+  let d = ref dist in
+  for _ = 1 to rounds do
+    d := step t !d
+  done;
+  !d
+
+let avoid_tail t ~c ~horizon =
+  if c = 0 then invalid_arg "Bips_chain.avoid_tail: empty C";
+  if horizon < 0 then invalid_arg "Bips_chain.avoid_tail: negative horizon";
+  let tail = Array.make (horizon + 1) 0.0 in
+  let avoid_mass dist =
+    let acc = ref 0.0 in
+    for a = 0 to t.states - 1 do
+      if mask_of_state t a land c = 0 then acc := !acc +. dist.(a)
+    done;
+    !acc
+  in
+  let dist = ref (distribution_after t ~rounds:0) in
+  tail.(0) <- avoid_mass !dist;
+  for round = 1 to horizon do
+    dist := step t !dist;
+    tail.(round) <- avoid_mass !dist
+  done;
+  tail
+
+let expected_infection_time t =
+  if t.n > 10 then invalid_arg "Bips_chain.expected_infection_time: n <= 10 required";
+  if t.n = 1 then 0.0
+  else begin
+    (* Absorbing state: A = V.  Solve (I - Q) x = 1 over the transient
+       states by Gaussian elimination with partial pivoting. *)
+    let full_idx = state_of_mask t (Subset.full t.n) in
+    let transient = Array.of_list (List.filter (fun i -> i <> full_idx) (List.init t.states Fun.id)) in
+    let m = Array.length transient in
+    let pos = Array.make t.states (-1) in
+    Array.iteri (fun j i -> pos.(i) <- j) transient;
+    let a = Array.make_matrix m (m + 1) 0.0 in
+    Array.iteri
+      (fun j i ->
+        a.(j).(m) <- 1.0;
+        for jj = 0 to m - 1 do
+          let q = t.matrix.(i).(transient.(jj)) in
+          a.(j).(jj) <- (if j = jj then 1.0 else 0.0) -. q
+        done)
+      transient;
+    (* Forward elimination. *)
+    for col = 0 to m - 1 do
+      let pivot = ref col in
+      for row = col + 1 to m - 1 do
+        if Float.abs a.(row).(col) > Float.abs a.(!pivot).(col) then pivot := row
+      done;
+      if Float.abs a.(!pivot).(col) < 1e-14 then
+        failwith "Bips_chain.expected_infection_time: singular system (disconnected graph?)";
+      let tmp = a.(col) in
+      a.(col) <- a.(!pivot);
+      a.(!pivot) <- tmp;
+      for row = col + 1 to m - 1 do
+        let factor = a.(row).(col) /. a.(col).(col) in
+        if factor <> 0.0 then
+          for k = col to m do
+            a.(row).(k) <- a.(row).(k) -. (factor *. a.(col).(k))
+          done
+      done
+    done;
+    (* Back substitution. *)
+    let x = Array.make m 0.0 in
+    for row = m - 1 downto 0 do
+      let s = ref a.(row).(m) in
+      for k = row + 1 to m - 1 do
+        s := !s -. (a.(row).(k) *. x.(k))
+      done;
+      x.(row) <- !s /. a.(row).(row)
+    done;
+    let start_idx = state_of_mask t (1 lsl t.source) in
+    if start_idx = full_idx then 0.0 else x.(pos.(start_idx))
+  end

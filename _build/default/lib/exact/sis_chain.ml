@@ -1,0 +1,131 @@
+module Graph = Cobra_graph.Graph
+module Process = Cobra_core.Process
+
+type t = {
+  n : int;
+  states : int; (* 2^n *)
+  matrix : float array array;
+  (* Cached solutions of the two first-step systems, filled lazily:
+     absorption probability into the full set, and expected time to
+     absorption, both indexed by state. *)
+  mutable saturation : float array option;
+  mutable absorption_time : float array option;
+}
+
+let infect_prob g branching lazy_ u a =
+  let d = Graph.degree g u in
+  if d = 0 then 0.0
+  else begin
+    let into = float_of_int (Subset.degree_into g u a) /. float_of_int d in
+    let p1 = if lazy_ then (0.5 *. if Subset.mem a u then 1.0 else 0.0) +. (0.5 *. into) else into in
+    match branching with
+    | Process.Fixed b -> 1.0 -. ((1.0 -. p1) ** float_of_int b)
+    | Process.Bernoulli rho -> 1.0 -. ((1.0 -. p1) *. (1.0 -. (rho *. p1)))
+  end
+
+let make g ?(branching = Process.Fixed 2) ?(lazy_ = false) () =
+  let n = Graph.n g in
+  Subset.check_n n;
+  if n < 1 then invalid_arg "Sis_chain.make: empty graph";
+  if n > 10 then invalid_arg "Sis_chain.make: n <= 10 required";
+  Process.validate_branching branching;
+  let states = 1 lsl n in
+  let matrix = Array.make_matrix states states 0.0 in
+  let probs = Array.make n 0.0 in
+  for a = 0 to states - 1 do
+    for u = 0 to n - 1 do
+      probs.(u) <- infect_prob g branching lazy_ u a
+    done;
+    let row = matrix.(a) in
+    for a' = 0 to states - 1 do
+      let p = ref 1.0 in
+      for u = 0 to n - 1 do
+        p := !p *. (if Subset.mem a' u then probs.(u) else 1.0 -. probs.(u))
+      done;
+      row.(a') <- !p
+    done
+  done;
+  { n; states; matrix; saturation = None; absorption_time = None }
+
+let transition_probability t a a' = t.matrix.(a).(a')
+
+(* Solve (I - Q) x = rhs over the transient states (everything except
+   the empty and full sets), by Gaussian elimination. *)
+let solve_transient t ~rhs_of =
+  let full = t.states - 1 in
+  let transient =
+    Array.of_list (List.filter (fun s -> s <> 0 && s <> full) (List.init t.states Fun.id))
+  in
+  let m = Array.length transient in
+  let pos = Array.make t.states (-1) in
+  Array.iteri (fun j s -> pos.(s) <- j) transient;
+  let a = Array.make_matrix m (m + 1) 0.0 in
+  Array.iteri
+    (fun j s ->
+      a.(j).(m) <- rhs_of s;
+      for jj = 0 to m - 1 do
+        let q = t.matrix.(s).(transient.(jj)) in
+        a.(j).(jj) <- (if j = jj then 1.0 else 0.0) -. q
+      done)
+    transient;
+  for col = 0 to m - 1 do
+    let pivot = ref col in
+    for row = col + 1 to m - 1 do
+      if Float.abs a.(row).(col) > Float.abs a.(!pivot).(col) then pivot := row
+    done;
+    if Float.abs a.(!pivot).(col) < 1e-14 then
+      failwith
+        "Sis_chain: singular system — on bipartite graphs the plain chain has periodic \
+         parity orbits and absorption is not almost-sure; use the lazy variant";
+    let tmp = a.(col) in
+    a.(col) <- a.(!pivot);
+    a.(!pivot) <- tmp;
+    for row = col + 1 to m - 1 do
+      let factor = a.(row).(col) /. a.(col).(col) in
+      if factor <> 0.0 then
+        for k = col to m do
+          a.(row).(k) <- a.(row).(k) -. (factor *. a.(col).(k))
+        done
+    done
+  done;
+  let x = Array.make m 0.0 in
+  for row = m - 1 downto 0 do
+    let s = ref a.(row).(m) in
+    for k = row + 1 to m - 1 do
+      s := !s -. (a.(row).(k) *. x.(k))
+    done;
+    x.(row) <- !s /. a.(row).(row)
+  done;
+  let by_state = Array.make t.states 0.0 in
+  Array.iteri (fun j s -> by_state.(s) <- x.(j)) transient;
+  by_state
+
+let saturation_table t =
+  match t.saturation with
+  | Some s -> s
+  | None ->
+      let full = t.states - 1 in
+      let table = solve_transient t ~rhs_of:(fun s -> t.matrix.(s).(full)) in
+      table.(full) <- 1.0;
+      t.saturation <- Some table;
+      table
+
+let absorption_table t =
+  match t.absorption_time with
+  | Some s -> s
+  | None ->
+      let table = solve_transient t ~rhs_of:(fun _ -> 1.0) in
+      t.absorption_time <- Some table;
+      table
+
+let check_initial t initial =
+  if initial < 0 || initial >= t.states then
+    invalid_arg "Sis_chain: initial mask out of range"
+
+let saturation_probability t ~initial =
+  check_initial t initial;
+  (saturation_table t).(initial)
+
+let expected_absorption_time t ~initial =
+  check_initial t initial;
+  (absorption_table t).(initial)

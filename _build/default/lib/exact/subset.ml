@@ -1,0 +1,45 @@
+module Graph = Cobra_graph.Graph
+
+let max_n = 20
+
+let check_n n =
+  if n < 0 || n > max_n then
+    invalid_arg (Printf.sprintf "Cobra_exact: exact solvers support n <= %d, got %d" max_n n)
+
+let full n = (1 lsl n) - 1
+let mem mask u = mask land (1 lsl u) <> 0
+let add mask u = mask lor (1 lsl u)
+
+let cardinal mask =
+  let rec go acc x = if x = 0 then acc else go (acc + 1) (x land (x - 1)) in
+  go 0 mask
+
+let iter_subsets_of mask f =
+  (* Standard submask enumeration: s = (s - 1) land mask walks all
+     submasks in decreasing order; include the empty set at the end. *)
+  let s = ref mask in
+  let continue_ = ref true in
+  while !continue_ do
+    f !s;
+    if !s = 0 then continue_ := false else s := (!s - 1) land mask
+  done
+
+let neighborhood_mask g c =
+  let acc = ref 0 in
+  for u = 0 to Graph.n g - 1 do
+    if mem c u then Graph.iter_neighbors g u (fun v -> acc := add !acc v)
+  done;
+  !acc
+
+let degree_into g u s = Graph.fold_neighbors g u (fun acc v -> if mem s v then acc + 1 else acc) 0
+
+let pp ppf mask =
+  Format.fprintf ppf "{";
+  let first = ref true in
+  for u = 0 to max_n - 1 do
+    if mem mask u then begin
+      if !first then first := false else Format.fprintf ppf ", ";
+      Format.fprintf ppf "%d" u
+    end
+  done;
+  Format.fprintf ppf "}"

@@ -1,0 +1,1 @@
+lib/experiments/common.ml: Cobra_core Cobra_graph Cobra_prng Cobra_spectral Cobra_stats Float Printf

@@ -1,0 +1,1 @@
+lib/experiments/common.mli: Cobra_core Cobra_graph Cobra_parallel

@@ -1,0 +1,1 @@
+lib/experiments/e01_general_bound.ml: Cobra_core Cobra_graph Cobra_stats Common Experiment Float List Printf

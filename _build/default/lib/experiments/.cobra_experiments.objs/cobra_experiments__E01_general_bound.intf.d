@@ -1,0 +1,1 @@
+lib/experiments/e01_general_bound.mli: Experiment

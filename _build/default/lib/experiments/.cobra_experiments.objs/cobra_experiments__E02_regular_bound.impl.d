@@ -1,0 +1,1 @@
+lib/experiments/e02_regular_bound.ml: Cobra_core Cobra_graph Cobra_stats Common Experiment Float List Printf

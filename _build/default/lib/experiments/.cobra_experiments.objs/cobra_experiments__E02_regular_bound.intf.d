@@ -1,0 +1,1 @@
+lib/experiments/e02_regular_bound.mli: Experiment

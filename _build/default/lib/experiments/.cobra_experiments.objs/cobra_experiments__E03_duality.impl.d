@@ -1,0 +1,1 @@
+lib/experiments/e03_duality.ml: Cobra_bitset Cobra_core Cobra_exact Cobra_graph Cobra_stats Common Experiment Float Hashtbl List Printf

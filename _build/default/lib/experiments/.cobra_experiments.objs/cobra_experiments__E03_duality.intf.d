@@ -1,0 +1,1 @@
+lib/experiments/e03_duality.mli: Experiment

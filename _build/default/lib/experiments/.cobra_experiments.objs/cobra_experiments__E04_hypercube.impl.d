@@ -1,0 +1,1 @@
+lib/experiments/e04_hypercube.ml: Array Cobra_core Cobra_graph Cobra_stats Common Experiment Float List Printf

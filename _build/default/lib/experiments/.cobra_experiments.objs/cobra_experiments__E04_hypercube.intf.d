@@ -1,0 +1,1 @@
+lib/experiments/e04_hypercube.mli: Experiment

@@ -1,0 +1,1 @@
+lib/experiments/e05_dutta_families.ml: Array Buffer Cobra_core Cobra_graph Cobra_stats Common Experiment Float List Printf

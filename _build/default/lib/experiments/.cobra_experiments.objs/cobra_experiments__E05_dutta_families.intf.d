@@ -1,0 +1,1 @@
+lib/experiments/e05_dutta_families.mli: Experiment

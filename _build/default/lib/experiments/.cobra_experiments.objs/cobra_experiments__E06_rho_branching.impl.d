@@ -1,0 +1,1 @@
+lib/experiments/e06_rho_branching.ml: Buffer Cobra_core Cobra_graph Cobra_stats Common Experiment Float List Printf

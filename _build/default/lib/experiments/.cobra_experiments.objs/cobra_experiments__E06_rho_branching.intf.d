@@ -1,0 +1,1 @@
+lib/experiments/e06_rho_branching.mli: Experiment

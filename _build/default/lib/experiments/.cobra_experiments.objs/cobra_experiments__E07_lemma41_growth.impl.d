@@ -1,0 +1,1 @@
+lib/experiments/e07_lemma41_growth.ml: Buffer Cobra_core Cobra_graph Cobra_prng Cobra_stats Common Experiment List Printf

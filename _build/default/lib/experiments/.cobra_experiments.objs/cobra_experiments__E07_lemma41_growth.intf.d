@@ -1,0 +1,1 @@
+lib/experiments/e07_lemma41_growth.mli: Experiment

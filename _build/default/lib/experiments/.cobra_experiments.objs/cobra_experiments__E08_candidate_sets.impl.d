@@ -1,0 +1,1 @@
+lib/experiments/e08_candidate_sets.ml: Buffer Cobra_core Cobra_graph Cobra_stats Common Experiment List Printf

@@ -1,0 +1,1 @@
+lib/experiments/e09_lower_bounds.ml: Buffer Cobra_core Cobra_graph Cobra_stats Common Experiment Float List Printf

@@ -1,0 +1,1 @@
+lib/experiments/e09_lower_bounds.mli: Experiment

@@ -1,0 +1,1 @@
+lib/experiments/e10_bipartite_lazy.ml: Cobra_core Cobra_graph Cobra_stats Common Experiment Float List Printf

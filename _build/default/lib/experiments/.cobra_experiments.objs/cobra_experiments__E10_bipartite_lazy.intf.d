@@ -1,0 +1,1 @@
+lib/experiments/e10_bipartite_lazy.mli: Experiment

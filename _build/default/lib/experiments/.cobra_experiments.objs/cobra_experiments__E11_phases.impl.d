@@ -1,0 +1,1 @@
+lib/experiments/e11_phases.ml: Array Cobra_core Cobra_graph Cobra_parallel Cobra_stats Common Experiment Fun List Printf

@@ -1,0 +1,1 @@
+lib/experiments/e11_phases.mli: Experiment

@@ -1,0 +1,1 @@
+lib/experiments/e12_multiwalk.ml: Buffer Cobra_core Cobra_graph Cobra_stats Common Experiment List Printf

@@ -1,0 +1,1 @@
+lib/experiments/e12_multiwalk.mli: Experiment

@@ -1,0 +1,1 @@
+lib/experiments/e13_gossip.ml: Array Buffer Cobra_graph Cobra_net Cobra_parallel Cobra_prng Cobra_stats Common Experiment Fun Hashtbl List Printf

@@ -1,0 +1,1 @@
+lib/experiments/e13_gossip.mli: Experiment

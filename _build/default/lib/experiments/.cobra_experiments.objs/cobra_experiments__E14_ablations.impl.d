@@ -1,0 +1,1 @@
+lib/experiments/e14_ablations.ml: Array Buffer Cobra_bitset Cobra_core Cobra_graph Cobra_parallel Cobra_prng Cobra_stats Common Experiment Fun List Printf

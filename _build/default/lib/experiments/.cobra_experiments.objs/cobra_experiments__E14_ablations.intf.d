@@ -1,0 +1,1 @@
+lib/experiments/e14_ablations.mli: Experiment

@@ -1,0 +1,1 @@
+lib/experiments/e15_sis_persistence.ml: Array Buffer Cobra_bitset Cobra_core Cobra_exact Cobra_graph Cobra_parallel Cobra_stats Common Experiment Float Hashtbl List Printf

@@ -1,0 +1,1 @@
+lib/experiments/e15_sis_persistence.mli: Experiment

@@ -1,0 +1,1 @@
+lib/experiments/e16_conjecture_probe.ml: Array Buffer Cobra_core Cobra_graph Cobra_stats Common Experiment List Printf

@@ -1,0 +1,1 @@
+lib/experiments/e16_conjecture_probe.mli: Experiment

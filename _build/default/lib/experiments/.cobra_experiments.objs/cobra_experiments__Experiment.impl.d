@@ -1,0 +1,1 @@
+lib/experiments/experiment.ml: Cobra_parallel Printf String

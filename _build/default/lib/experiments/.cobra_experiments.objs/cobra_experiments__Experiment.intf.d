@@ -1,0 +1,1 @@
+lib/experiments/experiment.mli: Cobra_parallel

@@ -1,0 +1,4 @@
+(** E1 — Theorem 1.1: COBRA cover time is [O(m + dmax^2 log n)] on every
+    connected graph. *)
+
+val experiment : Experiment.t

@@ -1,0 +1,4 @@
+(** E2 — Theorem 1.2: COBRA cover time is
+    [O((r / (1 - lambda) + r^2) log n)] on connected r-regular graphs. *)
+
+val experiment : Experiment.t

@@ -1,0 +1,4 @@
+(** E3 — Theorem 1.3: the COBRA/BIPS duality identity
+    [P(Hit(v) > T | C_0 = C) = P(C cap A_T = empty | A_0 = {v})]. *)
+
+val experiment : Experiment.t

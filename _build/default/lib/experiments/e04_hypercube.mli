@@ -1,0 +1,5 @@
+(** E4 — the paper's worked example: on the hypercube the successive
+    bounds give [O(log^8 n)] (SPAA'16), [O(log^4 n)] (PODC'16) and
+    [O(log^3 n)] (this paper). *)
+
+val experiment : Experiment.t

@@ -1,0 +1,5 @@
+(** E5 — the SPAA'13 headline cases: complete graphs cover in
+    [O(log n)], constant-degree expanders in [O(log^2 n)], and
+    D-dimensional tori in [~O(n^{1/D})]. *)
+
+val experiment : Experiment.t

@@ -1,0 +1,4 @@
+(** E6 — Section 6: with expected branching factor [b = 1 + rho] the
+    cover-time bounds pick up a [1/rho^2] factor (constant [rho]). *)
+
+val experiment : Experiment.t

@@ -1,0 +1,4 @@
+(** E7 — Lemma 4.1 (and 4.2): per-round expected BIPS growth
+    [E|A_{t+1}| >= |A_t| (1 + rho (1 - lambda^2)(1 - |A_t|/n))]. *)
+
+val experiment : Experiment.t

@@ -1,0 +1,4 @@
+(** E8 — Corollary 5.2: while [|A_{t-1}| <= n/2], the candidate set
+    satisfies [|C_t| >= |A_{t-1}| (1 - lambda) / 2]. *)
+
+val experiment : Experiment.t

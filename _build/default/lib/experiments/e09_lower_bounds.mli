@@ -1,0 +1,5 @@
+(** E9 — lower bounds: no b = 2 COBRA beats [max(log2 n, Diam(G))], and
+    the b = 1 random walk needs [Omega(n log n)] — the gap that motivates
+    branching. *)
+
+val experiment : Experiment.t

@@ -1,0 +1,5 @@
+(** E10 — bipartite graphs: [lambda = 1] voids the spectral bounds for
+    the plain process; the lazy variant restores a positive gap and the
+    Theorem 1.2 bound applies to it (remark after Theorem 1.2). *)
+
+val experiment : Experiment.t

@@ -1,0 +1,4 @@
+(** E11 — Sections 4–5: the three-phase structure of BIPS growth, and the
+    tail phase completing in [O(log n / (1 - lambda))] rounds. *)
+
+val experiment : Experiment.t

@@ -1,0 +1,4 @@
+(** E12 — the multiple-random-walks comparison from the introduction:
+    COBRA against k independent walks at matched communication budgets. *)
+
+val experiment : Experiment.t

@@ -1,0 +1,5 @@
+(** E13 (extension) — COBRA against classical rumor spreading (PUSH,
+    PUSH–PULL) on the message-passing simulator: rounds and messages to
+    cover at matched network semantics. *)
+
+val experiment : Experiment.t

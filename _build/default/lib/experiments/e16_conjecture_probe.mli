@@ -1,0 +1,6 @@
+(** E16 (extension) — the paper's open problem: "it has actually been
+    conjectured the worst-case cover time for any graph is O(n log n)"
+    (Section 7).  A search for counter-evidence across every generator
+    family. *)
+
+val experiment : Experiment.t

@@ -1,0 +1,15 @@
+type scale = Quick | Full
+
+type t = {
+  id : string;
+  title : string;
+  claim : string;
+  run : pool:Cobra_parallel.Pool.t -> master_seed:int -> scale:scale -> string;
+}
+
+let make ~id ~title ~claim ~run = { id; title; claim; run }
+
+let header t =
+  let rule = String.make 78 '=' in
+  Printf.sprintf "%s\n%s — %s\nclaim: %s\n%s\n" rule (String.uppercase_ascii t.id) t.title
+    t.claim rule

@@ -1,0 +1,24 @@
+(** The experiment registry.
+
+    Each experiment validates one quantitative claim of the paper (see
+    DESIGN.md section 3 for the index) and renders its result as a text
+    table.  Experiments are deterministic given [master_seed] and run at
+    two scales: [Quick] (seconds each, used by the benches and smoke
+    tests) and [Full] (the EXPERIMENTS.md numbers). *)
+
+type scale = Quick | Full
+
+type t = {
+  id : string;  (** "e1" .. "e12". *)
+  title : string;
+  claim : string;  (** The paper statement under test. *)
+  run : pool:Cobra_parallel.Pool.t -> master_seed:int -> scale:scale -> string;
+      (** Renders the result tables, including a PASS/INFO verdict line. *)
+}
+
+val make :
+  id:string -> title:string -> claim:string ->
+  run:(pool:Cobra_parallel.Pool.t -> master_seed:int -> scale:scale -> string) -> t
+
+val header : t -> string
+(** Banner printed above the experiment output. *)

@@ -1,0 +1,8 @@
+(** All experiments, in paper order. *)
+
+val all : Experiment.t list
+
+val find : string -> Experiment.t option
+(** Lookup by id ("e1" .. "e16"), case-insensitive. *)
+
+val ids : string list

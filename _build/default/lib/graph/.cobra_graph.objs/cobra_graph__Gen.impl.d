@@ -1,0 +1,1 @@
+lib/graph/gen.ml: Array Cobra_prng Float Gen_extra Graph Hashtbl List Printf Props

@@ -1,0 +1,1 @@
+lib/graph/gen_extra.ml: Array Cobra_prng Graph Hashtbl List

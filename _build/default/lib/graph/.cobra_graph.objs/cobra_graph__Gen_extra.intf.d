@@ -1,0 +1,1 @@
+lib/graph/gen_extra.mli: Cobra_prng Graph

@@ -1,0 +1,1 @@
+lib/graph/graph.ml: Array Cobra_bitset Cobra_prng Format Int List Printf

@@ -1,0 +1,1 @@
+lib/graph/graph.mli: Cobra_bitset Cobra_prng Format

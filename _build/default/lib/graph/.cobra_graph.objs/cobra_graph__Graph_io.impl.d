@@ -1,0 +1,1 @@
+lib/graph/graph_io.ml: Buffer Fun Graph List Printf String

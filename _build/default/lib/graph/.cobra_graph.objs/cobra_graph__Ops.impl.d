@@ -1,0 +1,1 @@
+lib/graph/ops.ml: Array Cobra_prng Graph List

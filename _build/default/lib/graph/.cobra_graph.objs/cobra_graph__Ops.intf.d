@@ -1,0 +1,1 @@
+lib/graph/ops.mli: Cobra_prng Graph

@@ -1,0 +1,1 @@
+lib/graph/props.ml: Array Graph Hashtbl List Option

@@ -1,0 +1,146 @@
+module Rng = Cobra_prng.Rng
+
+let cartesian_product g h =
+  let ng = Graph.n g and nh = Graph.n h in
+  if ng = 0 || nh = 0 then invalid_arg "Gen_extra.cartesian_product: empty factor";
+  let encode u v = (u * nh) + v in
+  let edges = ref [] in
+  for u = 0 to ng - 1 do
+    Graph.iter_edges h (fun v1 v2 -> edges := (encode u v1, encode u v2) :: !edges)
+  done;
+  for v = 0 to nh - 1 do
+    Graph.iter_edges g (fun u1 u2 -> edges := (encode u1 v, encode u2 v) :: !edges)
+  done;
+  Graph.of_edges ~n:(ng * nh) !edges
+
+let cycle_plus_matching ~n rng =
+  if n < 6 || n mod 2 = 1 then
+    invalid_arg "Gen_extra.cycle_plus_matching: need even n >= 6";
+  let cycle_edges = List.init n (fun i -> (i, (i + 1) mod n)) in
+  (* Sample a perfect matching avoiding cycle edges and self-pairs by
+     shuffling and pairing consecutive entries, retrying locally. *)
+  let rec sample attempts =
+    if attempts = 0 then
+      failwith "Gen_extra.cycle_plus_matching: failed to sample a valid matching"
+    else begin
+      let perm = Array.init n (fun i -> i) in
+      Rng.shuffle_in_place rng perm;
+      let ok = ref true in
+      let pairs = ref [] in
+      for i = 0 to (n / 2) - 1 do
+        let a = perm.(2 * i) and b = perm.((2 * i) + 1) in
+        let adjacent_on_cycle = (a + 1) mod n = b || (b + 1) mod n = a in
+        if adjacent_on_cycle then ok := false else pairs := (a, b) :: !pairs
+      done;
+      if !ok then !pairs else sample (attempts - 1)
+    end
+  in
+  Graph.of_edges ~n (cycle_edges @ sample 1000)
+
+let watts_strogatz ~n ~k ~beta rng =
+  if k < 2 || k mod 2 = 1 || k >= n then
+    invalid_arg "Gen_extra.watts_strogatz: need even k with 2 <= k < n";
+  if not (beta >= 0.0 && beta <= 1.0) then
+    invalid_arg "Gen_extra.watts_strogatz: beta must be in [0, 1]";
+  (* Membership table so rewires keep the graph simple. *)
+  let tbl = Hashtbl.create (n * k) in
+  let key u v = if u < v then (u * n) + v else (v * n) + u in
+  let add u v = Hashtbl.replace tbl (key u v) () in
+  let mem u v = Hashtbl.mem tbl (key u v) in
+  let remove u v = Hashtbl.remove tbl (key u v) in
+  for i = 0 to n - 1 do
+    for j = 1 to k / 2 do
+      add i ((i + j) mod n)
+    done
+  done;
+  for i = 0 to n - 1 do
+    for j = 1 to k / 2 do
+      let partner = (i + j) mod n in
+      if Rng.bernoulli rng beta && mem i partner then begin
+        let candidate = Rng.int_below rng n in
+        if candidate <> i && not (mem i candidate) then begin
+          remove i partner;
+          add i candidate
+        end
+      end
+    done
+  done;
+  let edges = Hashtbl.fold (fun key () acc -> (key / n, key mod n) :: acc) tbl [] in
+  Graph.of_edges ~n edges
+
+let barabasi_albert ~n ~m rng =
+  if m < 1 || m >= n then invalid_arg "Gen_extra.barabasi_albert: need 1 <= m < n";
+  let edges = ref [] in
+  (* Degree-proportional sampling via the repeated-endpoints trick: keep
+     every edge endpoint in a growing array and sample uniform slots. *)
+  let endpoints = ref [] in
+  let count = ref 0 in
+  let add_edge u v =
+    edges := (u, v) :: !edges;
+    endpoints := u :: v :: !endpoints;
+    count := !count + 2
+  in
+  for u = 0 to m do
+    for v = u + 1 to m do
+      add_edge u v
+    done
+  done;
+  let endpoint_arr = ref (Array.of_list !endpoints) in
+  let refresh () = endpoint_arr := Array.of_list !endpoints in
+  for v = m + 1 to n - 1 do
+    refresh ();
+    let chosen = Hashtbl.create m in
+    let guard = ref 0 in
+    while Hashtbl.length chosen < m && !guard < 10_000 do
+      incr guard;
+      let target = !endpoint_arr.(Rng.int_below rng (Array.length !endpoint_arr)) in
+      if target <> v then Hashtbl.replace chosen target ()
+    done;
+    Hashtbl.iter (fun u () -> add_edge v u) chosen
+  done;
+  Graph.of_edges ~n !edges
+
+let cube_connected_cycles d =
+  if d < 3 then invalid_arg "Gen_extra.cube_connected_cycles: need d >= 3";
+  if d > 20 then invalid_arg "Gen_extra.cube_connected_cycles: dimension too large";
+  let corners = 1 lsl d in
+  let n = d * corners in
+  let id corner pos = (corner * d) + pos in
+  let edges = ref [] in
+  for corner = 0 to corners - 1 do
+    for pos = 0 to d - 1 do
+      (* Cycle edge inside the corner's ring. *)
+      edges := (id corner pos, id corner ((pos + 1) mod d)) :: !edges;
+      (* Hypercube edge along dimension [pos]. *)
+      let other = corner lxor (1 lsl pos) in
+      if other > corner then edges := (id corner pos, id other pos) :: !edges
+    done
+  done;
+  Graph.of_edges ~n !edges
+
+let caterpillar ~spine ~legs =
+  if spine < 1 || legs < 0 then invalid_arg "Gen_extra.caterpillar: need spine >= 1, legs >= 0";
+  let n = spine * (1 + legs) in
+  let edges = ref [] in
+  for i = 0 to spine - 2 do
+    edges := (i, i + 1) :: !edges
+  done;
+  for i = 0 to spine - 1 do
+    for l = 0 to legs - 1 do
+      edges := (i, spine + (i * legs) + l) :: !edges
+    done
+  done;
+  Graph.of_edges ~n !edges
+
+let broom ~handle ~bristles =
+  if handle < 1 || bristles < 0 then
+    invalid_arg "Gen_extra.broom: need handle >= 1, bristles >= 0";
+  let n = handle + bristles in
+  let edges = ref [] in
+  for i = 0 to handle - 2 do
+    edges := (i, i + 1) :: !edges
+  done;
+  for b = 0 to bristles - 1 do
+    edges := (handle - 1, handle + b) :: !edges
+  done;
+  Graph.of_edges ~n !edges

@@ -1,0 +1,169 @@
+type t = {
+  n : int;
+  m : int;
+  offsets : int array; (* length n+1; neighbours of u live at offsets.(u) .. offsets.(u+1)-1 *)
+  adj : int array; (* length 2m; each undirected edge stored twice *)
+}
+
+let n t = t.n
+let m t = t.m
+
+let check_vertex t u =
+  if u < 0 || u >= t.n then
+    invalid_arg (Printf.sprintf "Graph: vertex %d out of range [0, %d)" u t.n)
+
+let of_edge_array ~n edges =
+  if n < 0 then invalid_arg "Graph.of_edge_array: negative n";
+  Array.iter
+    (fun (u, v) ->
+      if u < 0 || u >= n || v < 0 || v >= n then
+        invalid_arg
+          (Printf.sprintf "Graph.of_edge_array: edge (%d, %d) out of range [0, %d)" u v n);
+      if u = v then
+        invalid_arg (Printf.sprintf "Graph.of_edge_array: self-loop at %d" u))
+    edges;
+  (* Normalise each edge to a single packed int (min * n + max): integer
+     sorting and deduplication are several times faster than sorting
+     tuples through the polymorphic comparator, which matters when
+     building graphs with millions of edges. *)
+  let packed = Array.map (fun (u, v) -> if u < v then (u * n) + v else (v * n) + u) edges in
+  Array.sort Int.compare packed;
+  let raw = Array.length packed in
+  let m = ref 0 in
+  for i = 0 to raw - 1 do
+    if i = 0 || packed.(i) <> packed.(i - 1) then begin
+      packed.(!m) <- packed.(i);
+      incr m
+    end
+  done;
+  let m = !m in
+  let deg = Array.make (max n 1) 0 in
+  for i = 0 to m - 1 do
+    let u = packed.(i) / n and v = packed.(i) mod n in
+    deg.(u) <- deg.(u) + 1;
+    deg.(v) <- deg.(v) + 1
+  done;
+  let offsets = Array.make (n + 1) 0 in
+  for u = 0 to n - 1 do
+    offsets.(u + 1) <- offsets.(u) + deg.(u)
+  done;
+  let adj = Array.make (2 * m) 0 in
+  let cursor = Array.copy offsets in
+  (* The packed array is sorted lexicographically by (u, v), so writing
+     in order leaves every u-slice already sorted on the u side; the
+     v-side entries arrive in increasing u as well, keeping all slices
+     sorted without a per-slice sort. *)
+  for i = 0 to m - 1 do
+    let u = packed.(i) / n and v = packed.(i) mod n in
+    adj.(cursor.(u)) <- v;
+    cursor.(u) <- cursor.(u) + 1
+  done;
+  (* Second pass for the reverse direction: iterate sorted edges again;
+     for each v the incoming u values appear in increasing order, but
+     they must be merged with the forward entries, so a final per-slice
+     sort is still needed — do it with the int comparator. *)
+  for i = 0 to m - 1 do
+    let u = packed.(i) / n and v = packed.(i) mod n in
+    adj.(cursor.(v)) <- u;
+    cursor.(v) <- cursor.(v) + 1
+  done;
+  for u = 0 to n - 1 do
+    let lo = offsets.(u) and hi = offsets.(u + 1) in
+    let slice = Array.sub adj lo (hi - lo) in
+    Array.sort Int.compare slice;
+    Array.blit slice 0 adj lo (hi - lo)
+  done;
+  { n; m; offsets; adj }
+
+let of_edges ~n edges = of_edge_array ~n (Array.of_list edges)
+
+let degree t u =
+  check_vertex t u;
+  t.offsets.(u + 1) - t.offsets.(u)
+
+let max_degree t =
+  let best = ref 0 in
+  for u = 0 to t.n - 1 do
+    let d = t.offsets.(u + 1) - t.offsets.(u) in
+    if d > !best then best := d
+  done;
+  !best
+
+let min_degree t =
+  if t.n = 0 then 0
+  else begin
+    let best = ref max_int in
+    for u = 0 to t.n - 1 do
+      let d = t.offsets.(u + 1) - t.offsets.(u) in
+      if d < !best then best := d
+    done;
+    !best
+  end
+
+let is_regular t = t.n <= 1 || max_degree t = min_degree t
+
+let neighbor t u i =
+  check_vertex t u;
+  let d = t.offsets.(u + 1) - t.offsets.(u) in
+  if i < 0 || i >= d then
+    invalid_arg (Printf.sprintf "Graph.neighbor: index %d out of range [0, %d)" i d);
+  t.adj.(t.offsets.(u) + i)
+
+let random_neighbor t rng u =
+  check_vertex t u;
+  let lo = t.offsets.(u) in
+  let d = t.offsets.(u + 1) - lo in
+  if d = 0 then invalid_arg (Printf.sprintf "Graph.random_neighbor: vertex %d is isolated" u);
+  t.adj.(lo + Cobra_prng.Rng.int_below rng d)
+
+let neighbors t u =
+  check_vertex t u;
+  Array.sub t.adj t.offsets.(u) (t.offsets.(u + 1) - t.offsets.(u))
+
+let iter_neighbors t u f =
+  check_vertex t u;
+  for i = t.offsets.(u) to t.offsets.(u + 1) - 1 do
+    f t.adj.(i)
+  done
+
+let fold_neighbors t u f init =
+  check_vertex t u;
+  let acc = ref init in
+  for i = t.offsets.(u) to t.offsets.(u + 1) - 1 do
+    acc := f !acc t.adj.(i)
+  done;
+  !acc
+
+let mem_edge t u v =
+  check_vertex t u;
+  check_vertex t v;
+  let lo = ref t.offsets.(u) and hi = ref (t.offsets.(u + 1) - 1) in
+  let found = ref false in
+  while (not !found) && !lo <= !hi do
+    let mid = (!lo + !hi) / 2 in
+    let w = t.adj.(mid) in
+    if w = v then found := true else if w < v then lo := mid + 1 else hi := mid - 1
+  done;
+  !found
+
+let iter_edges t f =
+  for u = 0 to t.n - 1 do
+    for i = t.offsets.(u) to t.offsets.(u + 1) - 1 do
+      let v = t.adj.(i) in
+      if u < v then f u v
+    done
+  done
+
+let edges t =
+  let acc = ref [] in
+  iter_edges t (fun u v -> acc := (u, v) :: !acc);
+  List.rev !acc
+
+let degree_of_set t s =
+  Cobra_bitset.Bitset.fold (fun u acc -> acc + (t.offsets.(u + 1) - t.offsets.(u))) s 0
+
+let total_degree t = 2 * t.m
+
+let pp_stats ppf t =
+  Format.fprintf ppf "n=%d m=%d deg=[%d..%d]%s" t.n t.m (min_degree t) (max_degree t)
+    (if is_regular t then " regular" else "")

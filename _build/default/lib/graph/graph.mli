@@ -1,0 +1,78 @@
+(** Immutable undirected graphs in compressed sparse row (CSR) form.
+
+    A graph over vertices [0 .. n-1] stores, for each vertex, a sorted
+    slice of its neighbour array.  This is the layout the COBRA/BIPS inner
+    loops want: choosing a uniform neighbour of [u] is one bounded random
+    index into a contiguous slice.
+
+    Graphs are simple (no self-loops, no parallel edges) and undirected:
+    every edge [(u, v)] appears in both adjacency slices.  Construction
+    deduplicates and validates. *)
+
+type t
+
+val of_edges : n:int -> (int * int) list -> t
+(** [of_edges ~n edges] builds the graph with vertex set [0 .. n-1] and
+    the given undirected edges.  Edge direction and duplicates are
+    ignored; self-loops raise.
+
+    @raise Invalid_argument on [n < 0], endpoints out of range, or a
+    self-loop. *)
+
+val of_edge_array : n:int -> (int * int) array -> t
+(** Array analogue of {!of_edges}. *)
+
+val n : t -> int
+(** Number of vertices. *)
+
+val m : t -> int
+(** Number of (undirected) edges. *)
+
+val degree : t -> int -> int
+(** [degree g u] is the number of neighbours of [u]. *)
+
+val max_degree : t -> int
+(** Largest vertex degree; 0 for the empty graph. *)
+
+val min_degree : t -> int
+(** Smallest vertex degree; 0 for the empty graph. *)
+
+val is_regular : t -> bool
+(** [true] iff all degrees are equal (vacuously true for [n <= 1]). *)
+
+val neighbor : t -> int -> int -> int
+(** [neighbor g u i] is the [i]-th neighbour of [u] (in increasing vertex
+    order), [0 <= i < degree g u].  Unsafe index checks are on: raises
+    on out-of-range [i]. *)
+
+val random_neighbor : t -> Cobra_prng.Rng.t -> int -> int
+(** [random_neighbor g rng u] is a uniformly random neighbour of [u].
+    @raise Invalid_argument if [u] is isolated. *)
+
+val neighbors : t -> int -> int array
+(** Fresh array of the neighbours of [u], increasing order. *)
+
+val iter_neighbors : t -> int -> (int -> unit) -> unit
+(** [iter_neighbors g u f] applies [f] to each neighbour of [u]. *)
+
+val fold_neighbors : t -> int -> ('a -> int -> 'a) -> 'a -> 'a
+(** Fold over neighbours of [u] in increasing order. *)
+
+val mem_edge : t -> int -> int -> bool
+(** [mem_edge g u v] tests adjacency by binary search: O(log degree). *)
+
+val edges : t -> (int * int) list
+(** All edges as pairs [(u, v)] with [u < v], lexicographic order. *)
+
+val iter_edges : t -> (int -> int -> unit) -> unit
+(** [iter_edges g f] applies [f u v] once per edge, with [u < v]. *)
+
+val degree_of_set : t -> Cobra_bitset.Bitset.t -> int
+(** [degree_of_set g s] is [d(S) = sum over u in S of degree u], the
+    volume used by Theorem 1.4's potential function. *)
+
+val total_degree : t -> int
+(** [total_degree g = 2 * m g]. *)
+
+val pp_stats : Format.formatter -> t -> unit
+(** One-line summary: n, m, degree range. *)

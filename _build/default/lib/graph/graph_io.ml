@@ -1,0 +1,61 @@
+let to_string g =
+  let buf = Buffer.create (16 * Graph.m g) in
+  Buffer.add_string buf (Printf.sprintf "cobra-graph %d\n" (Graph.n g));
+  Graph.iter_edges g (fun u v -> Buffer.add_string buf (Printf.sprintf "%d %d\n" u v));
+  Buffer.contents buf
+
+let of_string s =
+  let lines = String.split_on_char '\n' s in
+  let meaningful =
+    List.filter
+      (fun line ->
+        let line = String.trim line in
+        line <> "" && not (String.length line > 0 && line.[0] = '#'))
+      lines
+  in
+  match meaningful with
+  | [] -> failwith "Graph_io.of_string: empty input"
+  | header :: rest ->
+      let n =
+        match String.split_on_char ' ' (String.trim header) with
+        | [ "cobra-graph"; n_str ] -> (
+            match int_of_string_opt n_str with
+            | Some n when n >= 0 -> n
+            | _ -> failwith "Graph_io.of_string: bad vertex count in header")
+        | _ -> failwith "Graph_io.of_string: expected 'cobra-graph <n>' header"
+      in
+      let parse_edge line =
+        let tokens =
+          String.split_on_char ' ' (String.trim line) |> List.filter (fun t -> t <> "")
+        in
+        match tokens with
+        | [ a; b ] -> (
+            match (int_of_string_opt a, int_of_string_opt b) with
+            | Some u, Some v -> (u, v)
+            | _ -> failwith (Printf.sprintf "Graph_io.of_string: bad edge line %S" line))
+        | _ -> failwith (Printf.sprintf "Graph_io.of_string: bad edge line %S" line)
+      in
+      let edges = List.map parse_edge rest in
+      (try Graph.of_edges ~n edges
+       with Invalid_argument msg -> failwith ("Graph_io.of_string: " ^ msg))
+
+let to_dot ?(name = "g") g =
+  let buf = Buffer.create (16 * Graph.m g) in
+  Buffer.add_string buf (Printf.sprintf "graph %s {\n" name);
+  Graph.iter_edges g (fun u v -> Buffer.add_string buf (Printf.sprintf "  %d -- %d;\n" u v));
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+let write_file path g =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_string g))
+
+let read_file path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let len = in_channel_length ic in
+      of_string (really_input_string ic len))

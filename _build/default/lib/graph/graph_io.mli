@@ -1,0 +1,30 @@
+(** Plain-text serialisation of graphs.
+
+    The edge-list format is line-oriented:
+    {v
+    # optional comments
+    cobra-graph <n>
+    <u> <v>
+    ...
+    v}
+    One edge per line, whitespace separated.  [of_string] accepts edges in
+    either orientation and ignores blank and [#] lines. *)
+
+val to_string : Graph.t -> string
+(** Serialise in the edge-list format, edges in canonical order. *)
+
+val of_string : string -> Graph.t
+(** Parse the edge-list format.
+    @raise Failure on malformed input (bad header, non-integer tokens,
+    out-of-range endpoints, self-loops). *)
+
+val to_dot : ?name:string -> Graph.t -> string
+(** Graphviz rendering ([graph] block with [--] edges), for eyeballing
+    small instances. *)
+
+val write_file : string -> Graph.t -> unit
+(** [write_file path g] writes [to_string g] to [path]. *)
+
+val read_file : string -> Graph.t
+(** [read_file path] parses the file at [path].
+    @raise Sys_error / Failure as appropriate. *)

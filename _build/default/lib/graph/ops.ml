@@ -1,0 +1,116 @@
+let complement g =
+  let n = Graph.n g in
+  let edges = ref [] in
+  for u = 0 to n - 1 do
+    for v = u + 1 to n - 1 do
+      if not (Graph.mem_edge g u v) then edges := (u, v) :: !edges
+    done
+  done;
+  Graph.of_edges ~n !edges
+
+let induced_subgraph g vertices =
+  let n = Graph.n g in
+  let k = Array.length vertices in
+  let position = Array.make n (-1) in
+  Array.iteri
+    (fun i v ->
+      if v < 0 || v >= n then invalid_arg "Ops.induced_subgraph: vertex out of range";
+      if position.(v) >= 0 then invalid_arg "Ops.induced_subgraph: duplicate vertex";
+      position.(v) <- i)
+    vertices;
+  let edges = ref [] in
+  Graph.iter_edges g (fun u v ->
+      if position.(u) >= 0 && position.(v) >= 0 then
+        edges := (position.(u), position.(v)) :: !edges);
+  Graph.of_edges ~n:k !edges
+
+let disjoint_union g h =
+  let offset = Graph.n g in
+  let edges = ref (Graph.edges g) in
+  Graph.iter_edges h (fun u v -> edges := (u + offset, v + offset) :: !edges);
+  Graph.of_edges ~n:(offset + Graph.n h) !edges
+
+let check_permutation n perm =
+  if Array.length perm <> n then invalid_arg "Ops.relabel: permutation length mismatch";
+  let seen = Array.make n false in
+  Array.iter
+    (fun v ->
+      if v < 0 || v >= n || seen.(v) then invalid_arg "Ops.relabel: not a permutation";
+      seen.(v) <- true)
+    perm
+
+let relabel g perm =
+  let n = Graph.n g in
+  check_permutation n perm;
+  let edges = ref [] in
+  Graph.iter_edges g (fun u v -> edges := (perm.(u), perm.(v)) :: !edges);
+  Graph.of_edges ~n !edges
+
+let random_relabel g rng =
+  let perm = Array.init (Graph.n g) (fun i -> i) in
+  Cobra_prng.Rng.shuffle_in_place rng perm;
+  relabel g perm
+
+let subdivide g k =
+  if k < 0 then invalid_arg "Ops.subdivide: k must be >= 0";
+  if k = 0 then Graph.of_edges ~n:(Graph.n g) (Graph.edges g)
+  else begin
+    let n = Graph.n g in
+    let edges = ref [] in
+    let fresh = ref n in
+    Graph.iter_edges g (fun u v ->
+        (* Chain u - w1 - ... - wk - v. *)
+        let prev = ref u in
+        for _ = 1 to k do
+          edges := (!prev, !fresh) :: !edges;
+          prev := !fresh;
+          incr fresh
+        done;
+        edges := (!prev, v) :: !edges);
+    Graph.of_edges ~n:!fresh !edges
+  end
+
+let add_edges g extra = Graph.of_edges ~n:(Graph.n g) (extra @ Graph.edges g)
+
+let is_isomorphic_brute g h =
+  let n = Graph.n g in
+  if n > 10 then invalid_arg "Ops.is_isomorphic_brute: n <= 10 required";
+  if Graph.n h <> n || Graph.m g <> Graph.m h then false
+  else begin
+    let dg = List.sort compare (List.init n (Graph.degree g)) in
+    let dh = List.sort compare (List.init n (Graph.degree h)) in
+    if dg <> dh then false
+    else begin
+      (* Backtracking over partial maps with degree compatibility. *)
+      let map = Array.make n (-1) in
+      let used = Array.make n false in
+      let rec extend u =
+        if u = n then true
+        else begin
+          let ok = ref false in
+          let v = ref 0 in
+          while (not !ok) && !v < n do
+            if (not used.(!v)) && Graph.degree g u = Graph.degree h !v then begin
+              (* Check edges between u and the already-mapped prefix. *)
+              let consistent = ref true in
+              for w = 0 to u - 1 do
+                if Graph.mem_edge g u w <> Graph.mem_edge h !v map.(w) then consistent := false
+              done;
+              if !consistent then begin
+                map.(u) <- !v;
+                used.(!v) <- true;
+                if extend (u + 1) then ok := true
+                else begin
+                  used.(!v) <- false;
+                  map.(u) <- -1
+                end
+              end
+            end;
+            incr v
+          done;
+          !ok
+        end
+      in
+      extend 0
+    end
+  end

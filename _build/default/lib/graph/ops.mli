@@ -1,0 +1,47 @@
+(** Graph transformations.
+
+    Utilities for deriving graphs from graphs: complements, induced
+    subgraphs, disjoint unions, relabelings and subdivisions.  The test
+    suite uses them to build counterexamples (disconnected inputs,
+    isomorphic copies for invariance checks); the experiments use
+    relabeling to verify that nothing depends on vertex numbering. *)
+
+val complement : Graph.t -> Graph.t
+(** [complement g] has an edge exactly where [g] does not (no
+    self-loops).  O(n^2). *)
+
+val induced_subgraph : Graph.t -> int array -> Graph.t
+(** [induced_subgraph g vertices] keeps the given distinct vertices
+    (which become [0 .. k-1] in the order given) and the edges among
+    them.
+    @raise Invalid_argument on duplicates or out-of-range entries. *)
+
+val disjoint_union : Graph.t -> Graph.t -> Graph.t
+(** [disjoint_union g h] places [h] after [g] (vertex [v] of [h]
+    becomes [Graph.n g + v]); always disconnected when both factors are
+    non-empty. *)
+
+val relabel : Graph.t -> int array -> Graph.t
+(** [relabel g perm] renames vertex [u] to [perm.(u)].
+    @raise Invalid_argument if [perm] is not a permutation of
+    [0 .. n-1]. *)
+
+val random_relabel : Graph.t -> Cobra_prng.Rng.t -> Graph.t
+(** [relabel] by a uniformly random permutation — an isomorphic copy. *)
+
+val subdivide : Graph.t -> int -> Graph.t
+(** [subdivide g k] replaces every edge by a path with [k] extra
+    intermediate vertices ([k = 0] returns an equal graph).  The new
+    vertices are appended after the original ones, edge by edge in
+    canonical order.
+    @raise Invalid_argument if [k < 0]. *)
+
+val add_edges : Graph.t -> (int * int) list -> Graph.t
+(** [add_edges g extra] is [g] with the extra edges merged in
+    (duplicates ignored).
+    @raise Invalid_argument on self-loops or out-of-range endpoints. *)
+
+val is_isomorphic_brute : Graph.t -> Graph.t -> bool
+(** Brute-force isomorphism test by permutation search with degree
+    pruning — exponential, restricted to [n <= 10]; a test oracle only.
+    @raise Invalid_argument above the size cap. *)

@@ -1,0 +1,113 @@
+let bfs_distances g src =
+  let n = Graph.n g in
+  let dist = Array.make n (-1) in
+  let queue = Array.make n 0 in
+  let head = ref 0 and tail = ref 0 in
+  dist.(src) <- 0;
+  queue.(!tail) <- src;
+  incr tail;
+  while !head < !tail do
+    let u = queue.(!head) in
+    incr head;
+    Graph.iter_neighbors g u (fun v ->
+        if dist.(v) < 0 then begin
+          dist.(v) <- dist.(u) + 1;
+          queue.(!tail) <- v;
+          incr tail
+        end)
+  done;
+  dist
+
+let is_connected g =
+  let n = Graph.n g in
+  n <= 1 || Array.for_all (fun d -> d >= 0) (bfs_distances g 0)
+
+let components g =
+  let n = Graph.n g in
+  let labels = Array.make n (-1) in
+  let k = ref 0 in
+  for src = 0 to n - 1 do
+    if labels.(src) < 0 then begin
+      let d = bfs_distances g src in
+      for v = 0 to n - 1 do
+        if d.(v) >= 0 && labels.(v) < 0 then labels.(v) <- !k
+      done;
+      incr k
+    end
+  done;
+  (labels, !k)
+
+let require_connected fn g =
+  if not (is_connected g) then invalid_arg (fn ^ ": graph is disconnected")
+
+let eccentricity g u =
+  require_connected "Props.eccentricity" g;
+  Array.fold_left max 0 (bfs_distances g u)
+
+let diameter g =
+  require_connected "Props.diameter" g;
+  let n = Graph.n g in
+  let best = ref 0 in
+  for u = 0 to n - 1 do
+    let d = bfs_distances g u in
+    Array.iter (fun x -> if x > !best then best := x) d
+  done;
+  !best
+
+let farthest_from g u =
+  let d = bfs_distances g u in
+  let best = ref u and bestd = ref 0 in
+  Array.iteri
+    (fun v x ->
+      if x > !bestd then begin
+        best := v;
+        bestd := x
+      end)
+    d;
+  (!best, !bestd)
+
+let diameter_lower_bound g =
+  if Graph.n g <= 1 then 0
+  else begin
+    let far, _ = farthest_from g 0 in
+    let _, d = farthest_from g far in
+    d
+  end
+
+let is_bipartite g =
+  let n = Graph.n g in
+  let colour = Array.make n (-1) in
+  let ok = ref true in
+  let queue = Array.make (max n 1) 0 in
+  for src = 0 to n - 1 do
+    if !ok && colour.(src) < 0 then begin
+      colour.(src) <- 0;
+      let head = ref 0 and tail = ref 0 in
+      queue.(!tail) <- src;
+      incr tail;
+      while !ok && !head < !tail do
+        let u = queue.(!head) in
+        incr head;
+        Graph.iter_neighbors g u (fun v ->
+            if colour.(v) < 0 then begin
+              colour.(v) <- 1 - colour.(u);
+              queue.(!tail) <- v;
+              incr tail
+            end
+            else if colour.(v) = colour.(u) then ok := false)
+      done
+    end
+  done;
+  !ok
+
+let degree_histogram g =
+  let tbl = Hashtbl.create 16 in
+  for u = 0 to Graph.n g - 1 do
+    let d = Graph.degree g u in
+    Hashtbl.replace tbl d (1 + Option.value ~default:0 (Hashtbl.find_opt tbl d))
+  done;
+  Hashtbl.fold (fun d c acc -> (d, c) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let average_degree g =
+  if Graph.n g = 0 then 0.0 else 2.0 *. float_of_int (Graph.m g) /. float_of_int (Graph.n g)

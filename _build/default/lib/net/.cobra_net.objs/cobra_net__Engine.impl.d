@@ -1,0 +1,1 @@
+lib/net/engine.ml: Array Cobra_graph List Option Printf Protocol

@@ -1,0 +1,1 @@
+lib/net/engine.mli: Cobra_graph Cobra_prng Protocol

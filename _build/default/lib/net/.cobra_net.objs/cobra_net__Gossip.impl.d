@@ -1,0 +1,1 @@
+lib/net/gossip.ml: Cobra_graph Cobra_prng Engine List

@@ -1,0 +1,1 @@
+lib/net/gossip.mli: Cobra_graph Cobra_prng Engine Protocol

@@ -1,0 +1,1 @@
+lib/net/protocol.ml: Cobra_graph Cobra_prng

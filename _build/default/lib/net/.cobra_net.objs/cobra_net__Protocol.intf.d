@@ -1,0 +1,1 @@
+lib/net/protocol.mli: Cobra_graph Cobra_prng

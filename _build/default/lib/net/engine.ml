@@ -1,0 +1,112 @@
+module Graph = Cobra_graph.Graph
+
+module Make (P : Protocol.S) = struct
+  type t = {
+    graph : Graph.t;
+    states : P.state array;
+    ever_informed : bool array;
+    mutable informed_count : int;
+    mutable rounds : int;
+    mutable messages : int;
+  }
+
+  let refresh_informed t =
+    let count = ref 0 in
+    for v = 0 to Graph.n t.graph - 1 do
+      if (not t.ever_informed.(v)) && P.informed t.states.(v) then t.ever_informed.(v) <- true;
+      if t.ever_informed.(v) then incr count
+    done;
+    t.informed_count <- !count
+
+  let create g ~start =
+    let n = Graph.n g in
+    if n = 0 then invalid_arg "Engine.create: empty graph";
+    if start < 0 || start >= n then invalid_arg "Engine.create: start out of range";
+    let states = Array.init n (fun vertex -> P.init g ~start ~vertex) in
+    let t =
+      {
+        graph = g;
+        states;
+        ever_informed = Array.make n false;
+        informed_count = 0;
+        rounds = 0;
+        messages = 0;
+      }
+    in
+    refresh_informed t;
+    t
+
+  let graph t = t.graph
+  let rounds_elapsed t = t.rounds
+  let messages_sent t = t.messages
+  let informed_count t = t.informed_count
+  let is_covered t = t.informed_count = Graph.n t.graph
+  let state t v = t.states.(v)
+
+  let current_count t =
+    let count = ref 0 in
+    Array.iter (fun s -> if P.informed s then incr count) t.states;
+    !count
+
+  let all_current t = current_count t = Graph.n t.graph
+
+  let check_destination t v dest =
+    if dest <> v && not (Graph.mem_edge t.graph v dest) then
+      invalid_arg
+        (Printf.sprintf "Engine: protocol %s sent from %d to non-neighbour %d" P.name v dest)
+
+  let round t rng =
+    let n = Graph.n t.graph in
+    (* Phase 1: requests.  Inboxes carry (sender, message). *)
+    let requests : (int * P.message) list array = Array.make n [] in
+    for v = 0 to n - 1 do
+      List.iter
+        (fun (dest, msg) ->
+          check_destination t v dest;
+          t.messages <- t.messages + 1;
+          requests.(dest) <- (v, msg) :: requests.(dest))
+        (P.emit t.graph rng ~vertex:v t.states.(v))
+    done;
+    (* Phase 2: replies to each received request. *)
+    let replies : P.message list array = Array.make n [] in
+    for v = 0 to n - 1 do
+      List.iter
+        (fun (sender, msg) ->
+          List.iter
+            (fun (dest, reply) ->
+              check_destination t v dest;
+              t.messages <- t.messages + 1;
+              replies.(dest) <- reply :: replies.(dest))
+            (P.respond t.graph rng ~vertex:v t.states.(v) ~sender msg))
+        requests.(v)
+    done;
+    (* State update from both inboxes. *)
+    for v = 0 to n - 1 do
+      t.states.(v) <-
+        P.update t.graph rng ~vertex:v t.states.(v)
+          ~requests:(List.map snd requests.(v))
+          ~replies:replies.(v)
+    done;
+    t.rounds <- t.rounds + 1;
+    refresh_informed t
+
+  let run_until ~finished ?max_rounds t rng =
+    let n = Graph.n t.graph in
+    let max_rounds = Option.value max_rounds ~default:((100 * n) + 10_000) in
+    let result = ref None in
+    (try
+       if finished t then result := Some t.rounds
+       else
+         while t.rounds < max_rounds do
+           round t rng;
+           if finished t then begin
+             result := Some t.rounds;
+             raise Exit
+           end
+         done
+     with Exit -> ());
+    !result
+
+  let run_until_covered ?max_rounds t rng = run_until ~finished:is_covered ?max_rounds t rng
+  let run_until_all_current ?max_rounds t rng = run_until ~finished:all_current ?max_rounds t rng
+end

@@ -1,0 +1,119 @@
+module Graph = Cobra_graph.Graph
+module Rng = Cobra_prng.Rng
+
+module Cobra = struct
+  type state = { informed : bool; active : bool }
+  type message = Token
+
+  let name = "cobra"
+  let init _g ~start ~vertex = { informed = vertex = start; active = vertex = start }
+
+  let emit g rng ~vertex s =
+    if s.active then
+      [ (Graph.random_neighbor g rng vertex, Token); (Graph.random_neighbor g rng vertex, Token) ]
+    else []
+
+  let respond _g _rng ~vertex:_ _s ~sender:_ Token = []
+
+  let update _g _rng ~vertex:_ s ~requests ~replies =
+    ignore (replies : message list);
+    let got = requests <> [] in
+    { informed = s.informed || got; active = got }
+
+  let informed s = s.informed
+end
+
+module Bips = struct
+  type state = { infected : bool; is_source : bool }
+  type message = Query | Status of bool
+
+  let name = "bips"
+  let init _g ~start ~vertex = { infected = vertex = start; is_source = vertex = start }
+
+  let emit g rng ~vertex s =
+    if s.is_source then []
+    else
+      [ (Graph.random_neighbor g rng vertex, Query); (Graph.random_neighbor g rng vertex, Query) ]
+
+  let respond _g _rng ~vertex:_ s ~sender msg =
+    match msg with Query -> [ (sender, Status s.infected) ] | Status _ -> []
+
+  let update _g _rng ~vertex:_ s ~requests ~replies =
+    ignore (requests : message list);
+    if s.is_source then s
+    else
+      let caught =
+        List.exists (function Status infected -> infected | Query -> false) replies
+      in
+      { s with infected = caught }
+
+  let informed s = s.infected
+end
+
+module Push = struct
+  type state = { informed : bool }
+  type message = Rumor
+
+  let name = "push"
+  let init _g ~start ~vertex = { informed = vertex = start }
+
+  let emit g rng ~vertex s =
+    if s.informed then [ (Graph.random_neighbor g rng vertex, Rumor) ] else []
+
+  let respond _g _rng ~vertex:_ _s ~sender:_ Rumor = []
+
+  let update _g _rng ~vertex:_ s ~requests ~replies =
+    ignore (replies : message list);
+    { informed = s.informed || requests <> [] }
+
+  let informed s = s.informed
+end
+
+module Push_pull = struct
+  type state = { informed : bool }
+  type message = Call of bool | Reply of bool
+
+  let name = "push-pull"
+  let init _g ~start ~vertex = { informed = vertex = start }
+
+  let emit g rng ~vertex s = [ (Graph.random_neighbor g rng vertex, Call s.informed) ]
+
+  let respond _g _rng ~vertex:_ s ~sender msg =
+    match msg with Call _ -> [ (sender, Reply s.informed) ] | Reply _ -> []
+
+  let update _g _rng ~vertex:_ s ~requests ~replies =
+    let heard =
+      List.exists (function Call informed -> informed | Reply _ -> false) requests
+      || List.exists (function Reply informed -> informed | Call _ -> false) replies
+    in
+    { informed = s.informed || heard }
+
+  let informed s = s.informed
+end
+
+module Cobra_engine = Engine.Make (Cobra)
+module Bips_engine = Engine.Make (Bips)
+module Push_engine = Engine.Make (Push)
+module Push_pull_engine = Engine.Make (Push_pull)
+
+type outcome = { rounds : int option; messages : int }
+
+let cobra_cover ?max_rounds g rng ~start =
+  let t = Cobra_engine.create g ~start in
+  let rounds = Cobra_engine.run_until_covered ?max_rounds t rng in
+  { rounds; messages = Cobra_engine.messages_sent t }
+
+let bips_infection ?max_rounds g rng ~source =
+  let t = Bips_engine.create g ~start:source in
+  let rounds = Bips_engine.run_until_all_current ?max_rounds t rng in
+  { rounds; messages = Bips_engine.messages_sent t }
+
+let push_cover ?max_rounds g rng ~start =
+  let t = Push_engine.create g ~start in
+  let rounds = Push_engine.run_until_covered ?max_rounds t rng in
+  { rounds; messages = Push_engine.messages_sent t }
+
+let push_pull_cover ?max_rounds g rng ~start =
+  let t = Push_pull_engine.create g ~start in
+  let rounds = Push_pull_engine.run_until_covered ?max_rounds t rng in
+  { rounds; messages = Push_pull_engine.messages_sent t }

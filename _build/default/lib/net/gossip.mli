@@ -1,0 +1,51 @@
+(** The information-spreading protocols, as {!Protocol.S} instances.
+
+    - {!Cobra} — the paper's process as a network protocol: an {e active}
+      vertex pushes a token to [b = 2] random neighbours and goes quiet;
+      receiving any token (re)activates a vertex.  One token = one
+      message.
+    - {!Bips} — the dual epidemic, pull-flavoured: every vertex queries
+      two random neighbours each round and becomes infected iff some
+      queried neighbour was infected (the source stays infected).  Each
+      query costs a request and a reply.
+    - {!Push} — classical synchronous rumor spreading: every informed
+      vertex pushes to one random neighbour each round, forever.
+    - {!Push_pull} — every vertex calls one random neighbour; the rumor
+      crosses the link in both directions (Karp et al. style).  A call
+      costs a request and a reply.
+
+    The engine instantiations are provided ({!Cobra_engine} etc.), plus
+    one-call cover/infection time runners used by the tests and the
+    rumor-spreading experiment. *)
+
+module Cobra : Protocol.S
+module Bips : Protocol.S
+module Push : Protocol.S
+module Push_pull : Protocol.S
+
+module Cobra_engine : module type of Engine.Make (Cobra)
+module Bips_engine : module type of Engine.Make (Bips)
+module Push_engine : module type of Engine.Make (Push)
+module Push_pull_engine : module type of Engine.Make (Push_pull)
+
+type outcome = {
+  rounds : int option;  (** [None] if the cap was hit. *)
+  messages : int;  (** Messages spent up to completion (or the cap). *)
+}
+
+val cobra_cover : ?max_rounds:int -> Cobra_graph.Graph.t -> Cobra_prng.Rng.t -> start:int -> outcome
+(** Rounds for the network-protocol COBRA to inform every vertex.  Same
+    distribution as {!Cobra_core.Cobra.run_cover} with [b = 2] (asserted
+    by the test suite). *)
+
+val bips_infection :
+  ?max_rounds:int -> Cobra_graph.Graph.t -> Cobra_prng.Rng.t -> source:int -> outcome
+(** Rounds until the infected set is the whole vertex set.  Same
+    distribution as {!Cobra_core.Bips.run_infection}. *)
+
+val push_cover : ?max_rounds:int -> Cobra_graph.Graph.t -> Cobra_prng.Rng.t -> start:int -> outcome
+(** Classical PUSH rumor spreading cover time. *)
+
+val push_pull_cover :
+  ?max_rounds:int -> Cobra_graph.Graph.t -> Cobra_prng.Rng.t -> start:int -> outcome
+(** PUSH–PULL cover time. *)

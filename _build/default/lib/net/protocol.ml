@@ -1,0 +1,20 @@
+module type S = sig
+  type state
+  type message
+
+  val name : string
+  val init : Cobra_graph.Graph.t -> start:int -> vertex:int -> state
+
+  val emit :
+    Cobra_graph.Graph.t -> Cobra_prng.Rng.t -> vertex:int -> state -> (int * message) list
+
+  val respond :
+    Cobra_graph.Graph.t -> Cobra_prng.Rng.t -> vertex:int -> state -> sender:int ->
+    message -> (int * message) list
+
+  val update :
+    Cobra_graph.Graph.t -> Cobra_prng.Rng.t -> vertex:int -> state ->
+    requests:message list -> replies:message list -> state
+
+  val informed : state -> bool
+end

@@ -1,0 +1,54 @@
+(** Round-synchronous message-passing protocols.
+
+    The paper frames COBRA as an information-propagation protocol: per
+    round, each vertex may transmit to a bounded number of neighbours,
+    and the quantity of interest is rounds-to-cover versus messages
+    spent.  This module pins down that network model as an OCaml module
+    type, so COBRA, BIPS and the classical rumor-spreading baselines
+    (PUSH, PUSH–PULL) can run on the {e same} simulator and be compared
+    at matched message budgets — and so the set-based engines in
+    {!Cobra_core} can be validated against a faithfully distributed
+    formulation.
+
+    A round has two delivery phases, enough to express pull-style
+    interactions:
+    + every vertex [emit]s request messages;
+    + requests are delivered; every vertex may [respond] to each;
+    + replies are delivered; every vertex [update]s its state from both
+      inboxes.
+
+    All randomness flows through the provided RNG, one call sequence per
+    vertex in vertex order, so protocol runs are deterministic given the
+    seed. *)
+
+module type S = sig
+  type state
+
+  type message
+
+  val name : string
+
+  val init : Cobra_graph.Graph.t -> start:int -> vertex:int -> state
+  (** Initial state of [vertex] when the rumor (or infection source)
+      starts at [start]. *)
+
+  val emit :
+    Cobra_graph.Graph.t -> Cobra_prng.Rng.t -> vertex:int -> state -> (int * message) list
+  (** Phase-1 messages as [(destination, payload)] pairs.  Destinations
+      must be neighbours of [vertex] (or [vertex] itself). *)
+
+  val respond :
+    Cobra_graph.Graph.t -> Cobra_prng.Rng.t -> vertex:int -> state -> sender:int ->
+    message -> (int * message) list
+  (** Phase-2 replies to one received request.  Return [[]] for
+      push-only protocols. *)
+
+  val update :
+    Cobra_graph.Graph.t -> Cobra_prng.Rng.t -> vertex:int -> state ->
+    requests:message list -> replies:message list -> state
+  (** New state after both phases. *)
+
+  val informed : state -> bool
+  (** Whether this vertex has received the information at least once —
+      the coverage criterion. *)
+end

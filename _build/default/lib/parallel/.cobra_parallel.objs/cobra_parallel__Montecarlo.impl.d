@@ -1,0 +1,1 @@
+lib/parallel/montecarlo.ml: Array Cobra_prng Cobra_stats Pool

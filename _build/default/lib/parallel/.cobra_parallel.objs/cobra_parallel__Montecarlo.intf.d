@@ -1,0 +1,1 @@
+lib/parallel/montecarlo.mli: Cobra_prng Cobra_stats Pool

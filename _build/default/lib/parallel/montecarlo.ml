@@ -1,0 +1,13 @@
+let check_trials trials = if trials < 1 then invalid_arg "Montecarlo: trials must be >= 1"
+
+let run ~pool ~master_seed ~trials f =
+  check_trials trials;
+  Pool.parallel_init pool trials (fun trial ->
+      f ~trial (Cobra_prng.Rng.for_trial ~master:master_seed ~trial))
+
+let run_serial ~master_seed ~trials f =
+  check_trials trials;
+  Array.init trials (fun trial ->
+      f ~trial (Cobra_prng.Rng.for_trial ~master:master_seed ~trial))
+
+let summarize xs = Cobra_stats.Summary.of_array xs

@@ -1,0 +1,23 @@
+(** Deterministic parallel Monte Carlo.
+
+    Every trial gets a PRNG derived from [(master seed, trial index)], so
+    the ensemble of results is a pure function of the master seed — the
+    parallel schedule, the chunk size and the number of domains cannot
+    change a single bit of the output.  This is what lets the test suite
+    assert [serial run = parallel run] and lets EXPERIMENTS.md numbers be
+    regenerated exactly. *)
+
+val run :
+  pool:Pool.t -> master_seed:int -> trials:int -> (trial:int -> Cobra_prng.Rng.t -> 'a) -> 'a array
+(** [run ~pool ~master_seed ~trials f] evaluates
+    [f ~trial rng_for_trial] for each [trial] in [0 .. trials-1] across
+    the pool and returns the results in trial order.
+    @raise Invalid_argument if [trials < 1]. *)
+
+val run_serial :
+  master_seed:int -> trials:int -> (trial:int -> Cobra_prng.Rng.t -> 'a) -> 'a array
+(** Serial reference with the identical seeding discipline; used to test
+    schedule independence. *)
+
+val summarize : float array -> Cobra_stats.Summary.stats
+(** Convenience: summary statistics of a float trial ensemble. *)

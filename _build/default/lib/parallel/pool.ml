@@ -1,0 +1,132 @@
+type job = {
+  counter : int Atomic.t; (* next unclaimed chunk start *)
+  hi : int;
+  chunk : int;
+  body : int -> unit;
+  pending : int Atomic.t; (* workers still inside the job *)
+  failure : exn option Atomic.t;
+}
+
+type t = {
+  mutable domains : unit Domain.t array;
+  mailbox : job option Atomic.t array; (* one slot per worker domain *)
+  stop : bool Atomic.t;
+  mutable active : bool;
+}
+
+(* Each worker spins on its own mailbox slot with a cpu_relax backoff.
+   A condition-variable design would sleep better between loops, but the
+   experiment workloads keep the pool saturated, and per-slot mailboxes
+   avoid a contended lock on every chunk claim. *)
+
+let run_job job =
+  let exception Stop in
+  (try
+     let continue_ = ref true in
+     while !continue_ do
+       let start = Atomic.fetch_and_add job.counter job.chunk in
+       if start >= job.hi then continue_ := false
+       else begin
+         let stop_ = min job.hi (start + job.chunk) in
+         for i = start to stop_ - 1 do
+           if Atomic.get job.failure <> None then raise Stop;
+           job.body i
+         done
+       end
+     done
+   with
+  | Stop -> ()
+  | e -> ignore (Atomic.compare_and_set job.failure None (Some e)));
+  Atomic.decr job.pending
+
+let worker_loop mailbox stop =
+  let continue_ = ref true in
+  while !continue_ do
+    match Atomic.get mailbox with
+    | Some job as seen ->
+        (* CAS so that the submitting thread clearing a stale mailbox and
+           this worker cannot both account for the same slot. *)
+        if Atomic.compare_and_set mailbox seen None then run_job job
+    | None -> if Atomic.get stop then continue_ := false else Domain.cpu_relax ()
+  done
+
+let create ?num_domains () =
+  let num_domains =
+    match num_domains with
+    | Some k ->
+        if k < 0 then invalid_arg "Pool.create: num_domains must be >= 0";
+        k
+    | None -> max 0 (Domain.recommended_domain_count () - 1)
+  in
+  let stop = Atomic.make false in
+  let mailbox = Array.init num_domains (fun _ -> Atomic.make None) in
+  let domains =
+    Array.init num_domains (fun i -> Domain.spawn (fun () -> worker_loop mailbox.(i) stop))
+  in
+  { domains; mailbox; stop; active = true }
+
+let size t = Array.length t.domains + 1
+
+let parallel_for t ~lo ~hi ?chunk body =
+  if not t.active then invalid_arg "Pool.parallel_for: pool is shut down";
+  if hi > lo then begin
+    let span = hi - lo in
+    let workers = size t in
+    let chunk =
+      match chunk with
+      | Some c ->
+          if c < 1 then invalid_arg "Pool.parallel_for: chunk must be >= 1";
+          c
+      | None -> max 1 (span / (8 * workers))
+    in
+    let job =
+      {
+        counter = Atomic.make lo;
+        hi;
+        chunk;
+        body;
+        pending = Atomic.make workers;
+        failure = Atomic.make None;
+      }
+    in
+    Array.iter (fun slot -> Atomic.set slot (Some job)) t.mailbox;
+    (* The caller participates, then waits for stragglers. *)
+    run_job job;
+    (* Workers that never woke up in time still hold the job in their
+       mailbox; reclaim those slots (CAS against the exact value we
+       stored, so a concurrent worker claim wins exactly one of us) and
+       account for each reclaimed one. *)
+    Array.iter
+      (fun slot ->
+        match Atomic.get slot with
+        | Some j as seen when j == job ->
+            if Atomic.compare_and_set slot seen None then Atomic.decr job.pending
+        | _ -> ())
+      t.mailbox;
+    while Atomic.get job.pending > 0 do
+      Domain.cpu_relax ()
+    done;
+    match Atomic.get job.failure with None -> () | Some e -> raise e
+  end
+
+let parallel_init t n f =
+  if n < 0 then invalid_arg "Pool.parallel_init: negative length";
+  if n = 0 then [||]
+  else begin
+    let first = f 0 in
+    let out = Array.make n first in
+    parallel_for t ~lo:1 ~hi:n (fun i -> out.(i) <- f i);
+    out
+  end
+
+let shutdown t =
+  if t.active then begin
+    t.active <- false;
+    Atomic.set t.stop true;
+    Array.iter Domain.join t.domains;
+    t.domains <- [||]
+  end
+
+let with_pool ?num_domains f =
+  let t = create ?num_domains () in
+  Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)

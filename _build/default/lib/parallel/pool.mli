@@ -1,0 +1,41 @@
+(** A small work-stealing-free domain pool for data-parallel loops.
+
+    OCaml 5 domains are heavyweight (one per core is the intended usage),
+    so the pool spawns its workers once and reuses them for every loop.
+    Scheduling is dynamic: loop iterations are claimed chunk-by-chunk
+    through an atomic counter, which balances the very uneven trial
+    durations of cover-time simulation (a lollipop trial can take 100x a
+    complete-graph trial at equal [n]).
+
+    The pool is safe for nested use from the submitting thread only; work
+    items must not themselves call into the same pool. *)
+
+type t
+
+val create : ?num_domains:int -> unit -> t
+(** [create ()] spawns [num_domains] workers (default:
+    [Domain.recommended_domain_count () - 1], at least 1 total worker
+    including the caller).  [num_domains] counts {e extra} domains; 0
+    gives a serial pool that still satisfies the interface. *)
+
+val size : t -> int
+(** Number of workers that execute a loop, including the caller. *)
+
+val parallel_for : t -> lo:int -> hi:int -> ?chunk:int -> (int -> unit) -> unit
+(** [parallel_for t ~lo ~hi f] runs [f i] for [lo <= i < hi], spread over
+    the pool; the calling thread participates.  [chunk] (default:
+    automatic, targeting ~8 chunks per worker) trades scheduling overhead
+    against balance.  Exceptions raised by [f] are re-raised in the
+    caller after the loop drains (the first one observed). *)
+
+val parallel_init : t -> int -> (int -> 'a) -> 'a array
+(** [parallel_init t n f] is [Array.init n f] computed in parallel.
+    [f 0] is evaluated first to seed the array; the remaining indices are
+    filled by {!parallel_for}. *)
+
+val shutdown : t -> unit
+(** Terminates the workers.  Idempotent; the pool must not be used
+    afterwards. *)
+
+val with_pool : ?num_domains:int -> (t -> 'a) -> 'a
+(** [with_pool f] runs [f] with a fresh pool and always shuts it down. *)

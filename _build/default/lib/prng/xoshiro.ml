@@ -1,0 +1,99 @@
+type t = {
+  mutable s0 : int64;
+  mutable s1 : int64;
+  mutable s2 : int64;
+  mutable s3 : int64;
+}
+
+let rotl x k =
+  Int64.logor (Int64.shift_left x k) (Int64.shift_right_logical x (64 - k))
+
+let create seed =
+  let sm = Splitmix64.create seed in
+  let s0 = Splitmix64.next sm in
+  let s1 = Splitmix64.next sm in
+  let s2 = Splitmix64.next sm in
+  let s3 = Splitmix64.next sm in
+  (* An all-zero state is a fixed point of the recurrence; SplitMix64
+     cannot produce four consecutive zeros, so this state is valid. *)
+  { s0; s1; s2; s3 }
+
+let copy t = { s0 = t.s0; s1 = t.s1; s2 = t.s2; s3 = t.s3 }
+
+let next64 t =
+  let result = Int64.add (rotl (Int64.add t.s0 t.s3) 23) t.s0 in
+  let tmp = Int64.shift_left t.s1 17 in
+  t.s2 <- Int64.logxor t.s2 t.s0;
+  t.s3 <- Int64.logxor t.s3 t.s1;
+  t.s1 <- Int64.logxor t.s1 t.s2;
+  t.s0 <- Int64.logxor t.s0 t.s3;
+  t.s2 <- Int64.logxor t.s2 tmp;
+  t.s3 <- rotl t.s3 45;
+  result
+
+let bits30 t = Int64.to_int (Int64.shift_right_logical (next64 t) 34)
+
+let int_below t n =
+  if n <= 0 then invalid_arg "Xoshiro.int_below: bound must be positive";
+  if n = 1 then 0
+  else begin
+    (* Masked rejection: draw ceil(log2 n) bits until the value is < n.
+       Expected < 2 draws; no modulo bias. *)
+    let mask =
+      let rec widen m = if m >= n - 1 then m else widen ((m lsl 1) lor 1) in
+      widen 1
+    in
+    if mask <= 0x3FFFFFFF then begin
+      let rec draw () =
+        let v = bits30 t land mask in
+        if v < n then v else draw ()
+      in
+      draw ()
+    end
+    else begin
+      let rec draw () =
+        let v = Int64.to_int (Int64.shift_right_logical (next64 t) 2) land mask in
+        if v < n then v else draw ()
+      in
+      draw ()
+    end
+  end
+
+let float01 t =
+  (* Top 53 bits of the output, scaled by 2^-53. *)
+  let bits = Int64.to_int (Int64.shift_right_logical (next64 t) 11) in
+  float_of_int bits *. 0x1.0p-53
+
+let bool t = Int64.compare (next64 t) 0L < 0
+
+let bernoulli t p = if p >= 1.0 then true else if p <= 0.0 then false else float01 t < p
+
+(* Jump polynomial coefficients from the reference implementation:
+   advances the stream by 2^128 steps. *)
+let jump_tbl = [| 0x180EC6D33CFD0ABAL; 0xD5A61266F0C9392CL; 0xA9582618E03FC9AAL; 0x39ABDC4529B1661CL |]
+
+let jump t =
+  let s0 = ref 0L and s1 = ref 0L and s2 = ref 0L and s3 = ref 0L in
+  for i = 0 to 3 do
+    for b = 0 to 63 do
+      if Int64.logand jump_tbl.(i) (Int64.shift_left 1L b) <> 0L then begin
+        s0 := Int64.logxor !s0 t.s0;
+        s1 := Int64.logxor !s1 t.s1;
+        s2 := Int64.logxor !s2 t.s2;
+        s3 := Int64.logxor !s3 t.s3
+      end;
+      ignore (next64 t)
+    done
+  done;
+  t.s0 <- !s0;
+  t.s1 <- !s1;
+  t.s2 <- !s2;
+  t.s3 <- !s3
+
+let shuffle_in_place t a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int_below t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done

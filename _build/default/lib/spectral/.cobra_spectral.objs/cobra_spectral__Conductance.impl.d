@@ -1,0 +1,1 @@
+lib/spectral/conductance.ml: Array Cobra_bitset Cobra_graph Eigen

@@ -1,0 +1,1 @@
+lib/spectral/conductance.mli: Cobra_bitset Cobra_graph

@@ -1,0 +1,1 @@
+lib/spectral/eigen.ml: Array Cobra_graph Cobra_prng Float Matvec

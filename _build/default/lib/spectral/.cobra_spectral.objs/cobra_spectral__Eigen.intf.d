@@ -1,0 +1,1 @@
+lib/spectral/eigen.mli: Cobra_graph

@@ -1,0 +1,1 @@
+lib/spectral/matvec.ml: Array Cobra_graph

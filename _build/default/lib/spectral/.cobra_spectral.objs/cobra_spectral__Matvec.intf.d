@@ -1,0 +1,1 @@
+lib/spectral/matvec.mli: Cobra_graph

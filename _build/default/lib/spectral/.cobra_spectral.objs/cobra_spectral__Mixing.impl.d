@@ -1,0 +1,1 @@
+lib/spectral/mixing.ml: Array Cobra_graph Float Option

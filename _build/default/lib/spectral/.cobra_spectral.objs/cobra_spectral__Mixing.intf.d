@@ -1,0 +1,1 @@
+lib/spectral/mixing.mli: Cobra_graph

@@ -1,0 +1,35 @@
+(** Graph conductance [phi(G)].
+
+    For a vertex set [S] with volume [vol(S) = sum of degrees] and cut
+    [cut(S)] edges leaving [S],
+    [phi(S) = cut(S) / min(vol(S), vol(V \ S))] and
+    [phi(G) = min over proper non-empty S of phi(S)].
+
+    Mitzenmacher et al. (SPAA'16) bound the COBRA cover time by
+    [O((r^4 / phi^2) log^2 n)]; this paper's improvement for regular
+    graphs is compared against it through Cheeger's inequality
+    [1 - lambda >= phi^2 / 2].
+
+    Exact conductance is NP-hard in general, so we provide exact
+    enumeration for small graphs plus a sweep-cut {e upper} bound from
+    the second eigenvector for larger ones (the Cheeger-rounding
+    certificate, good enough to compare bound formulas). *)
+
+val of_set : Cobra_graph.Graph.t -> Cobra_bitset.Bitset.t -> float
+(** [of_set g s] is [phi(S)].
+    @raise Invalid_argument if [S] is empty or the whole vertex set. *)
+
+val exact : Cobra_graph.Graph.t -> float
+(** Exact [phi(G)] by Gray-code enumeration of all vertex subsets.
+    O(2^n); restricted to [n <= 24].
+    @raise Invalid_argument if [Graph.n g > 24] or [n < 2]. *)
+
+val sweep_upper_bound :
+  ?tol:float -> ?max_iter:int -> ?seed:int -> Cobra_graph.Graph.t -> float
+(** [sweep_upper_bound g] orders vertices by the second eigenvector of
+    [P] and returns the minimum conductance over all prefix cuts — an
+    upper bound on [phi(G)], tight up to Cheeger's quadratic loss. *)
+
+val cheeger_lower_bound : gap:float -> float
+(** [cheeger_lower_bound ~gap] is [gap / 2]: from [1 - lambda <= 2 phi],
+    the easy direction of Cheeger's inequality, [phi >= (1 - lambda)/2]. *)

@@ -1,0 +1,165 @@
+module Graph = Cobra_graph.Graph
+
+(* Deflated power iteration for the dominant eigenvalue of
+   [shift * I + sign * N] restricted to the orthogonal complement of the
+   stationary direction.  Returns (rayleigh_quotient, eigenvector). *)
+let power_deflated ~shift ~sign ~tol ~max_iter ~seed g =
+  let n = Graph.n g in
+  let pi = Matvec.stationary_direction g in
+  let rng = Cobra_prng.Rng.create seed in
+  let x = Array.init n (fun _ -> Cobra_prng.Rng.float01 rng -. 0.5) in
+  let y = Array.make n 0.0 in
+  let deflate v =
+    let c = Matvec.dot v pi in
+    Matvec.axpy ~alpha:(-.c) pi v
+  in
+  deflate x;
+  Matvec.scale_to_unit x;
+  let rayleigh = ref 0.0 in
+  let continue_ = ref true in
+  let iter = ref 0 in
+  while !continue_ && !iter < max_iter do
+    incr iter;
+    Matvec.apply_normalized g x y;
+    (* y := shift * x + sign * N x *)
+    for i = 0 to n - 1 do
+      y.(i) <- (shift *. x.(i)) +. (sign *. y.(i))
+    done;
+    deflate y;
+    let r = Matvec.dot x y in
+    let nrm = Matvec.norm2 y in
+    if nrm < 1e-300 then begin
+      (* The deflated component vanished: the non-principal spectrum of
+         the shifted operator is (numerically) zero. *)
+      rayleigh := 0.0;
+      continue_ := false
+    end
+    else begin
+      for i = 0 to n - 1 do
+        x.(i) <- y.(i) /. nrm
+      done;
+      if Float.abs (r -. !rayleigh) < tol && !iter > 16 then continue_ := false;
+      rayleigh := r
+    end
+  done;
+  (!rayleigh, x)
+
+let second_eigenvalue ?(tol = 1e-10) ?(max_iter = 200_000) ?(seed = 1) g =
+  if Graph.n g = 0 then invalid_arg "Eigen.second_eigenvalue: empty graph";
+  if Graph.n g = 1 then 0.0
+  else begin
+    (* Dominant deflated eigenvalue of I + N is 1 + lambda_2; of I - N it
+       is 1 - lambda_n.  Both operators are PSD on connected graphs, so
+       power iteration converges monotonically. *)
+    let top, _ = power_deflated ~shift:1.0 ~sign:1.0 ~tol ~max_iter ~seed g in
+    let bot, _ = power_deflated ~shift:1.0 ~sign:(-1.0) ~tol ~max_iter ~seed:(seed + 1) g in
+    let lambda2 = top -. 1.0 in
+    let neg_lambda_n = bot -. 1.0 in
+    Float.max 0.0 (Float.min 1.0 (Float.max lambda2 neg_lambda_n))
+  end
+
+let eigenvalue_gap ?tol ?max_iter ?seed g = 1.0 -. second_eigenvalue ?tol ?max_iter ?seed g
+
+let second_eigenvector ?(tol = 1e-10) ?(max_iter = 200_000) ?(seed = 1) g =
+  if Graph.n g = 0 then invalid_arg "Eigen.second_eigenvector: empty graph";
+  let n = Graph.n g in
+  let r, v = power_deflated ~shift:1.0 ~sign:1.0 ~tol ~max_iter ~seed g in
+  let lambda2 = r -. 1.0 in
+  (* Convert the eigenvector of N into one of P: v_P = D^{-1/2} v_N. *)
+  let vp =
+    Array.init n (fun u ->
+        let d = Graph.degree g u in
+        if d = 0 then 0.0 else v.(u) /. sqrt (float_of_int d))
+  in
+  Matvec.scale_to_unit vp;
+  (lambda2, vp)
+
+let lazy_second_eigenvalue ?tol ?max_iter ?seed g =
+  let lambda2, _ = second_eigenvector ?tol ?max_iter ?seed g in
+  Float.max 0.0 (Float.min 1.0 ((1.0 +. lambda2) /. 2.0))
+
+let lazy_eigenvalue_gap ?tol ?max_iter ?seed g =
+  1.0 -. lazy_second_eigenvalue ?tol ?max_iter ?seed g
+
+(* --- Dense reference solver: cyclic Jacobi on the symmetric N --- *)
+
+let dense_normalized g =
+  let n = Graph.n g in
+  let a = Array.make_matrix n n 0.0 in
+  for u = 0 to n - 1 do
+    if Graph.degree g u = 0 then
+      invalid_arg "Eigen.dense_spectrum: isolated vertex (transition matrix undefined)"
+  done;
+  Graph.iter_edges g (fun u v ->
+      let w = 1.0 /. sqrt (float_of_int (Graph.degree g u * Graph.degree g v)) in
+      a.(u).(v) <- w;
+      a.(v).(u) <- w);
+  a
+
+let jacobi_eigenvalues a =
+  let n = Array.length a in
+  let off_diag_norm () =
+    let s = ref 0.0 in
+    for i = 0 to n - 1 do
+      for j = i + 1 to n - 1 do
+        s := !s +. (a.(i).(j) *. a.(i).(j))
+      done
+    done;
+    sqrt (2.0 *. !s)
+  in
+  let rotate p q =
+    let apq = a.(p).(q) in
+    if Float.abs apq > 1e-15 then begin
+      let theta = (a.(q).(q) -. a.(p).(p)) /. (2.0 *. apq) in
+      let t =
+        let sgn = if theta >= 0.0 then 1.0 else -1.0 in
+        sgn /. (Float.abs theta +. sqrt ((theta *. theta) +. 1.0))
+      in
+      let c = 1.0 /. sqrt ((t *. t) +. 1.0) in
+      let s = t *. c in
+      let tau = s /. (1.0 +. c) in
+      let app = a.(p).(p) and aqq = a.(q).(q) in
+      a.(p).(p) <- app -. (t *. apq);
+      a.(q).(q) <- aqq +. (t *. apq);
+      a.(p).(q) <- 0.0;
+      a.(q).(p) <- 0.0;
+      for k = 0 to n - 1 do
+        if k <> p && k <> q then begin
+          let akp = a.(k).(p) and akq = a.(k).(q) in
+          let akp' = akp -. (s *. (akq +. (tau *. akp))) in
+          let akq' = akq +. (s *. (akp -. (tau *. akq))) in
+          a.(k).(p) <- akp';
+          a.(p).(k) <- akp';
+          a.(k).(q) <- akq';
+          a.(q).(k) <- akq'
+        end
+      done
+    end
+    else begin
+      a.(p).(q) <- 0.0;
+      a.(q).(p) <- 0.0
+    end
+  in
+  let sweeps = ref 0 in
+  while off_diag_norm () > 1e-12 && !sweeps < 100 do
+    incr sweeps;
+    for p = 0 to n - 2 do
+      for q = p + 1 to n - 1 do
+        rotate p q
+      done
+    done
+  done;
+  let eigs = Array.init n (fun i -> a.(i).(i)) in
+  Array.sort (fun x y -> compare y x) eigs;
+  eigs
+
+let dense_spectrum g =
+  let n = Graph.n g in
+  if n = 0 then invalid_arg "Eigen.dense_spectrum: empty graph";
+  if n > 1024 then invalid_arg "Eigen.dense_spectrum: graph too large for the dense solver";
+  jacobi_eigenvalues (dense_normalized g)
+
+let second_eigenvalue_exact g =
+  let eigs = dense_spectrum g in
+  let n = Array.length eigs in
+  if n = 1 then 0.0 else Float.max (Float.abs eigs.(1)) (Float.abs eigs.(n - 1))

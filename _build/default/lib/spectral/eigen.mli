@@ -1,0 +1,65 @@
+(** Eigenvalues of the random-walk transition matrix.
+
+    The paper's spectral parameter is
+    [lambda = max_{i >= 2} |lambda_i(P)|], the second largest absolute
+    eigenvalue of the transition matrix [P], and the bounds of
+    Theorems 1.2/1.5 are stated in terms of the gap [1 - lambda].
+    Connected non-bipartite graphs have [lambda < 1]; bipartite ones have
+    [lambda_n = -1], i.e. [lambda = 1].
+
+    Two solvers are provided: deflated power iteration on the symmetric
+    normalisation (scales to large sparse graphs) and a dense cyclic
+    Jacobi eigensolver (exact reference for small graphs and the test
+    oracle for the iterative path). *)
+
+val second_eigenvalue :
+  ?tol:float -> ?max_iter:int -> ?seed:int -> Cobra_graph.Graph.t -> float
+(** [second_eigenvalue g] estimates [lambda(G)].
+
+    Power iteration is run on the two shifted operators [I + N] and
+    [I - N] (with the stationary component deflated), whose dominant
+    deflated eigenvalues are [1 + lambda_2] and [1 - lambda_n]; shifting
+    makes both spectra non-negative so the iteration cannot oscillate,
+    and [lambda = max(lambda_2, -lambda_n)].
+
+    [tol] (default [1e-10]) is the convergence threshold on the Rayleigh
+    quotient; [max_iter] (default [200_000]) caps iterations; [seed]
+    (default 1) fixes the random start vector.  The result is clamped to
+    [[0, 1]].
+
+    @raise Invalid_argument on the empty graph. *)
+
+val eigenvalue_gap : ?tol:float -> ?max_iter:int -> ?seed:int -> Cobra_graph.Graph.t -> float
+(** [eigenvalue_gap g = 1 - second_eigenvalue g]. *)
+
+val second_eigenvector :
+  ?tol:float -> ?max_iter:int -> ?seed:int -> Cobra_graph.Graph.t -> float * float array
+(** [second_eigenvector g] returns [(lambda_2, v)] where [lambda_2] is
+    the largest non-principal eigenvalue of [P] (signed, not absolute)
+    and [v] the corresponding eigenvector of [P] (the normalised-operator
+    eigenvector rescaled by [D^{-1/2}]).  [v] drives sweep-cut
+    conductance estimation. *)
+
+val lazy_second_eigenvalue :
+  ?tol:float -> ?max_iter:int -> ?seed:int -> Cobra_graph.Graph.t -> float
+(** [lazy_second_eigenvalue g] is [lambda] of the {e lazy} walk
+    [(I + P) / 2], i.e. [(1 + lambda_2(P)) / 2].  The lazy spectrum is
+    non-negative, so this is well-defined (< 1) on every connected graph
+    including bipartite ones — it is the parameter to use with the
+    paper's regular-graph bound on bipartite instances such as the
+    hypercube (remark after Theorem 1.2). *)
+
+val lazy_eigenvalue_gap :
+  ?tol:float -> ?max_iter:int -> ?seed:int -> Cobra_graph.Graph.t -> float
+(** [1 - lazy_second_eigenvalue g = (1 - lambda_2(P)) / 2]. *)
+
+val dense_spectrum : Cobra_graph.Graph.t -> float array
+(** [dense_spectrum g] is the full spectrum of [P], decreasing order,
+    computed by cyclic Jacobi on the dense symmetric normalisation.
+    O(n^3); intended for [n] up to a few hundred.
+
+    @raise Invalid_argument if [Graph.n g > 1024] or the graph has an
+    isolated vertex. *)
+
+val second_eigenvalue_exact : Cobra_graph.Graph.t -> float
+(** [lambda] read off {!dense_spectrum}: [max(|l_2|, |l_n|)]. *)

@@ -1,0 +1,60 @@
+module Graph = Cobra_graph.Graph
+
+let check_lengths g x y =
+  let n = Graph.n g in
+  if Array.length x <> n || Array.length y <> n then
+    invalid_arg "Matvec: vector length does not match vertex count"
+
+let apply_transition g x y =
+  check_lengths g x y;
+  for u = 0 to Graph.n g - 1 do
+    let d = Graph.degree g u in
+    if d = 0 then y.(u) <- 0.0
+    else begin
+      (* Row action of the Markov operator: (P x)(u) = avg of x over N(u). *)
+      let s = ref 0.0 in
+      Graph.iter_neighbors g u (fun v -> s := !s +. x.(v));
+      y.(u) <- !s /. float_of_int d
+    end
+  done
+
+let apply_normalized g x y =
+  check_lengths g x y;
+  let n = Graph.n g in
+  let inv_sqrt_deg =
+    Array.init n (fun u ->
+        let d = Graph.degree g u in
+        if d = 0 then 0.0 else 1.0 /. sqrt (float_of_int d))
+  in
+  for u = 0 to n - 1 do
+    let s = ref 0.0 in
+    Graph.iter_neighbors g u (fun v -> s := !s +. (x.(v) *. inv_sqrt_deg.(v)));
+    y.(u) <- !s *. inv_sqrt_deg.(u)
+  done
+
+let stationary_direction g =
+  let n = Graph.n g in
+  let v = Array.init n (fun u -> sqrt (float_of_int (Graph.degree g u))) in
+  let nrm = sqrt (Array.fold_left (fun acc x -> acc +. (x *. x)) 0.0 v) in
+  if nrm > 0.0 then Array.map (fun x -> x /. nrm) v else v
+
+let dot x y =
+  let s = ref 0.0 in
+  for i = 0 to Array.length x - 1 do
+    s := !s +. (x.(i) *. y.(i))
+  done;
+  !s
+
+let norm2 x = sqrt (dot x x)
+
+let axpy ~alpha x y =
+  for i = 0 to Array.length x - 1 do
+    y.(i) <- y.(i) +. (alpha *. x.(i))
+  done
+
+let scale_to_unit x =
+  let nrm = norm2 x in
+  if nrm > 0.0 then
+    for i = 0 to Array.length x - 1 do
+      x.(i) <- x.(i) /. nrm
+    done

@@ -1,0 +1,38 @@
+(** Sparse matrix–vector products for walk matrices derived from a graph.
+
+    All products are allocation-free given caller-provided output buffers,
+    since the eigensolvers apply them thousands of times.
+
+    For a graph [G] with adjacency matrix [A] and degree matrix [D]:
+    - the transition matrix is [P = D^{-1} A];
+    - the symmetric normalisation is [N = D^{-1/2} A D^{-1/2}].
+
+    [P] and [N] are similar ([N = D^{1/2} P D^{-1/2}]), hence share all
+    eigenvalues; the paper's [lambda] is the second largest absolute
+    eigenvalue of [P].  We iterate with the symmetric [N] because power
+    iteration and Rayleigh quotients are only reliable on symmetric
+    operators. *)
+
+val apply_transition : Cobra_graph.Graph.t -> float array -> float array -> unit
+(** [apply_transition g x y] writes [P x] into [y].
+    Isolated vertices map to 0.
+    @raise Invalid_argument on length mismatch. *)
+
+val apply_normalized : Cobra_graph.Graph.t -> float array -> float array -> unit
+(** [apply_normalized g x y] writes [N x] into [y]. *)
+
+val stationary_direction : Cobra_graph.Graph.t -> float array
+(** Unit vector proportional to [sqrt(degree)] — the principal
+    eigenvector of [N] (eigenvalue 1 on connected graphs). *)
+
+val dot : float array -> float array -> float
+(** Euclidean inner product. *)
+
+val norm2 : float array -> float
+(** Euclidean norm. *)
+
+val axpy : alpha:float -> float array -> float array -> unit
+(** [axpy ~alpha x y] performs [y := y + alpha * x]. *)
+
+val scale_to_unit : float array -> unit
+(** Normalise in place to unit Euclidean norm (no-op on the zero vector). *)

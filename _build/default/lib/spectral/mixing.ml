@@ -1,0 +1,80 @@
+module Graph = Cobra_graph.Graph
+
+let total_variation p q =
+  if Array.length p <> Array.length q then
+    invalid_arg "Mixing.total_variation: length mismatch";
+  let s = ref 0.0 in
+  for i = 0 to Array.length p - 1 do
+    s := !s +. Float.abs (p.(i) -. q.(i))
+  done;
+  0.5 *. !s
+
+let stationary g =
+  let two_m = float_of_int (Graph.total_degree g) in
+  if two_m = 0.0 then invalid_arg "Mixing.stationary: graph has no edges";
+  Array.init (Graph.n g) (fun u -> float_of_int (Graph.degree g u) /. two_m)
+
+(* One step of the (lazy) walk distribution: mass flows along edges.
+   next(v) = sum over neighbours u of cur(u) / d(u), halved and mixed
+   with the current mass when lazy. *)
+let step g ~lazy_ cur next =
+  let n = Graph.n g in
+  for v = 0 to n - 1 do
+    let s = ref 0.0 in
+    Graph.iter_neighbors g v (fun u -> s := !s +. (cur.(u) /. float_of_int (Graph.degree g u)));
+    next.(v) <- (if lazy_ then (0.5 *. cur.(v)) +. (0.5 *. !s) else !s)
+  done
+
+let walk_distribution ?(lazy_ = false) g ~start ~rounds =
+  let n = Graph.n g in
+  if start < 0 || start >= n then invalid_arg "Mixing.walk_distribution: start out of range";
+  if rounds < 0 then invalid_arg "Mixing.walk_distribution: negative rounds";
+  let cur = Array.make n 0.0 and next = Array.make n 0.0 in
+  cur.(start) <- 1.0;
+  let a = ref cur and b = ref next in
+  for _ = 1 to rounds do
+    step g ~lazy_ !a !b;
+    let t = !a in
+    a := !b;
+    b := t
+  done;
+  Array.copy !a
+
+let distance_to_stationarity ?lazy_ g ~start ~rounds =
+  total_variation (walk_distribution g ?lazy_ ~start ~rounds) (stationary g)
+
+let mixing_time ?(lazy_ = false) ?(eps = 0.25) ?max_rounds g =
+  let n = Graph.n g in
+  if n = 0 then invalid_arg "Mixing.mixing_time: empty graph";
+  if not (Cobra_graph.Props.is_connected g) then
+    invalid_arg "Mixing.mixing_time: graph must be connected";
+  if n = 1 then Some 0
+  else begin
+    let max_rounds = Option.value max_rounds ~default:(100 * n) in
+    let pi = stationary g in
+    (* Evolve all n start distributions in lockstep; stop when the worst
+       TV distance crosses eps. *)
+    let dists = Array.init n (fun u -> Array.init n (fun v -> if u = v then 1.0 else 0.0)) in
+    let scratch = Array.make n 0.0 in
+    let worst () =
+      Array.fold_left (fun acc d -> Float.max acc (total_variation d pi)) 0.0 dists
+    in
+    let t = ref 0 in
+    let result = ref None in
+    (try
+       if worst () <= eps then result := Some 0
+       else
+         while !t < max_rounds do
+           incr t;
+           for u = 0 to n - 1 do
+             step g ~lazy_ dists.(u) scratch;
+             Array.blit scratch 0 dists.(u) 0 n
+           done;
+           if worst () <= eps then begin
+             result := Some !t;
+             raise Exit
+           end
+         done
+     with Exit -> ());
+    !result
+  end

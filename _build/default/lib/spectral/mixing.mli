@@ -1,0 +1,36 @@
+(** Total-variation mixing of the (lazy) random walk.
+
+    The paper's regular-graph bound is driven by [1/(1 - lambda)], which
+    is the relaxation time of the walk; the total-variation mixing time
+    obeys [t_mix <= log(n / eps) / (1 - lambda)] (lazy chains).  This
+    module measures mixing directly by evolving walk distributions,
+    giving experiments and users a second, spectral-free handle on how
+    fast a graph supports spreading processes. *)
+
+val total_variation : float array -> float array -> float
+(** [total_variation p q = (1/2) sum |p_i - q_i|].
+    @raise Invalid_argument on length mismatch. *)
+
+val stationary : Cobra_graph.Graph.t -> float array
+(** The stationary distribution [pi(u) = d(u) / 2m].
+    @raise Invalid_argument if the graph has no edges. *)
+
+val walk_distribution :
+  ?lazy_:bool -> Cobra_graph.Graph.t -> start:int -> rounds:int -> float array
+(** Distribution of the walk after [rounds] steps from [start]
+    ([lazy_] default [false]: each step stays put with probability 1/2). *)
+
+val distance_to_stationarity :
+  ?lazy_:bool -> Cobra_graph.Graph.t -> start:int -> rounds:int -> float
+(** [TV(P^t(start, .), pi)]. *)
+
+val mixing_time :
+  ?lazy_:bool -> ?eps:float -> ?max_rounds:int -> Cobra_graph.Graph.t -> int option
+(** [mixing_time g] is the smallest [t] with
+    [max_start TV(P^t(start, .), pi) <= eps] (default [eps = 0.25], the
+    standard convention), or [None] if [max_rounds] (default [100 n])
+    rounds do not suffice — which is the expected outcome for
+    non-lazy walks on bipartite graphs.  Cost O(n m t); intended for
+    [n] up to ~2000.
+
+    @raise Invalid_argument on a disconnected or empty graph. *)

@@ -1,0 +1,26 @@
+type interval = { lo : float; hi : float }
+
+let ci ?(replicates = 1000) ?(confidence = 0.95) ~statistic xs rng =
+  let n = Array.length xs in
+  if n = 0 then invalid_arg "Bootstrap.ci: empty sample";
+  if replicates < 1 then invalid_arg "Bootstrap.ci: replicates must be >= 1";
+  if confidence <= 0.0 || confidence >= 1.0 then
+    invalid_arg "Bootstrap.ci: confidence must be in (0, 1)";
+  let resample = Array.make n 0.0 in
+  let stats =
+    Array.init replicates (fun _ ->
+        for i = 0 to n - 1 do
+          resample.(i) <- xs.(Cobra_prng.Rng.int_below rng n)
+        done;
+        statistic resample)
+  in
+  let alpha = (1.0 -. confidence) /. 2.0 in
+  match Quantile.quantiles stats [ alpha; 1.0 -. alpha ] with
+  | [ lo; hi ] -> { lo; hi }
+  | _ -> assert false
+
+let mean xs = Array.fold_left ( +. ) 0.0 xs /. float_of_int (Array.length xs)
+let ci_mean ?replicates ?confidence xs rng = ci ?replicates ?confidence ~statistic:mean xs rng
+
+let ci_median ?replicates ?confidence xs rng =
+  ci ?replicates ?confidence ~statistic:Quantile.median xs rng

@@ -1,0 +1,25 @@
+(** Bootstrap confidence intervals.
+
+    Cover-time samples are skewed, so normal-theory intervals can
+    undercover for small trial counts; percentile bootstrap gives the
+    experiment tables distribution-free intervals for means and
+    medians. *)
+
+type interval = { lo : float; hi : float }
+
+val ci :
+  ?replicates:int -> ?confidence:float -> statistic:(float array -> float) ->
+  float array -> Cobra_prng.Rng.t -> interval
+(** [ci ~statistic xs rng] is the percentile-bootstrap interval for
+    [statistic] at [confidence] (default 0.95) from [replicates]
+    (default 1000) resamples.
+    @raise Invalid_argument on an empty sample, [replicates < 1], or
+    confidence outside (0, 1). *)
+
+val ci_mean :
+  ?replicates:int -> ?confidence:float -> float array -> Cobra_prng.Rng.t -> interval
+(** Interval for the sample mean. *)
+
+val ci_median :
+  ?replicates:int -> ?confidence:float -> float array -> Cobra_prng.Rng.t -> interval
+(** Interval for the sample median. *)

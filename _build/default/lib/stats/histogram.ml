@@ -1,0 +1,48 @@
+type t = { lo : float; hi : float; bins : int array; mutable total : int }
+
+let create ~lo ~hi ~bins =
+  if bins < 1 then invalid_arg "Histogram.create: bins must be >= 1";
+  if hi <= lo then invalid_arg "Histogram.create: need hi > lo";
+  { lo; hi; bins = Array.make bins 0; total = 0 }
+
+let add t x =
+  let k = Array.length t.bins in
+  let idx =
+    if x < t.lo then 0
+    else if x >= t.hi then k - 1
+    else begin
+      let i = int_of_float (float_of_int k *. (x -. t.lo) /. (t.hi -. t.lo)) in
+      min (k - 1) (max 0 i)
+    end
+  in
+  t.bins.(idx) <- t.bins.(idx) + 1;
+  t.total <- t.total + 1
+
+let of_array ?(bins = 20) xs =
+  if Array.length xs = 0 then invalid_arg "Histogram.of_array: empty sample";
+  let lo = Array.fold_left Float.min xs.(0) xs in
+  let hi = Array.fold_left Float.max xs.(0) xs in
+  let hi = if hi > lo then hi +. ((hi -. lo) *. 1e-9) else lo +. 1.0 in
+  let t = create ~lo ~hi ~bins in
+  Array.iter (add t) xs;
+  t
+
+let counts t = Array.copy t.bins
+let total t = t.total
+
+let bin_bounds t i =
+  let k = Array.length t.bins in
+  if i < 0 || i >= k then invalid_arg "Histogram.bin_bounds: bin index out of range";
+  let w = (t.hi -. t.lo) /. float_of_int k in
+  (t.lo +. (float_of_int i *. w), t.lo +. (float_of_int (i + 1) *. w))
+
+let render ?(width = 50) t =
+  let buf = Buffer.create 256 in
+  let peak = Array.fold_left max 1 t.bins in
+  Array.iteri
+    (fun i c ->
+      let lo, hi = bin_bounds t i in
+      let bar = String.make (c * width / peak) '#' in
+      Buffer.add_string buf (Printf.sprintf "[%10.1f, %10.1f) %6d %s\n" lo hi c bar))
+    t.bins;
+  Buffer.contents buf

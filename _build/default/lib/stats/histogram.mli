@@ -1,0 +1,28 @@
+(** Fixed-width histograms with a terminal renderer.
+
+    Used by the CLIs to visualise cover-time distributions and BIPS
+    infection-size trajectories without leaving the terminal. *)
+
+type t
+
+val create : lo:float -> hi:float -> bins:int -> t
+(** [create ~lo ~hi ~bins] covers [[lo, hi)] with [bins] equal bins;
+    observations outside the range land in the first/last bin.
+    @raise Invalid_argument if [bins < 1] or [hi <= lo]. *)
+
+val of_array : ?bins:int -> float array -> t
+(** Histogram spanning the sample range (default 20 bins).
+    @raise Invalid_argument on an empty sample. *)
+
+val add : t -> float -> unit
+
+val counts : t -> int array
+(** Per-bin counts, ascending bin order. *)
+
+val total : t -> int
+
+val bin_bounds : t -> int -> float * float
+(** [bin_bounds t i] is the half-open interval of bin [i]. *)
+
+val render : ?width:int -> t -> string
+(** ASCII bar rendering, one line per bin. *)

@@ -1,0 +1,71 @@
+type t = {
+  mutable count : int;
+  mutable mean : float;
+  mutable m2 : float; (* sum of squared deviations from the running mean *)
+  mutable min : float;
+  mutable max : float;
+}
+
+type stats = {
+  count : int;
+  mean : float;
+  variance : float;
+  stddev : float;
+  min : float;
+  max : float;
+}
+
+let create () = { count = 0; mean = 0.0; m2 = 0.0; min = nan; max = nan }
+
+let add (t : t) x =
+  t.count <- t.count + 1;
+  let delta = x -. t.mean in
+  t.mean <- t.mean +. (delta /. float_of_int t.count);
+  t.m2 <- t.m2 +. (delta *. (x -. t.mean));
+  if t.count = 1 then begin
+    t.min <- x;
+    t.max <- x
+  end
+  else begin
+    if x < t.min then t.min <- x;
+    if x > t.max then t.max <- x
+  end
+
+let merge (a : t) (b : t) : t =
+  if a.count = 0 then { count = b.count; mean = b.mean; m2 = b.m2; min = b.min; max = b.max }
+  else if b.count = 0 then { count = a.count; mean = a.mean; m2 = a.m2; min = a.min; max = a.max }
+  else begin
+    let na = float_of_int a.count and nb = float_of_int b.count in
+    let n = na +. nb in
+    let delta = b.mean -. a.mean in
+    {
+      count = a.count + b.count;
+      mean = a.mean +. (delta *. nb /. n);
+      m2 = a.m2 +. b.m2 +. (delta *. delta *. na *. nb /. n);
+      min = Float.min a.min b.min;
+      max = Float.max a.max b.max;
+    }
+  end
+
+let stats (t : t) : stats =
+  let variance = if t.count < 2 then 0.0 else t.m2 /. float_of_int (t.count - 1) in
+  {
+    count = t.count;
+    mean = (if t.count = 0 then nan else t.mean);
+    variance;
+    stddev = sqrt variance;
+    min = t.min;
+    max = t.max;
+  }
+
+let of_array xs =
+  let t = create () in
+  Array.iter (add t) xs;
+  stats t
+
+let mean_confidence95 s =
+  if s.count < 2 then 0.0 else 1.96 *. s.stddev /. sqrt (float_of_int s.count)
+
+let pp ppf s =
+  Format.fprintf ppf "%.2f ± %.2f (%.0f .. %.0f, %d trials)" s.mean (mean_confidence95 s) s.min
+    s.max s.count

@@ -1,0 +1,1 @@
+test/test_bips.ml: Alcotest Array Cobra_bitset Cobra_core Cobra_graph Cobra_prng Option Printf QCheck2 QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_bitset.ml: Alcotest Cobra_bitset Cobra_prng Format Hashtbl Int List Option Printf QCheck2 QCheck_alcotest Set

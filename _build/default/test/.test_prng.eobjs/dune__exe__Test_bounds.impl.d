@@ -1,0 +1,1 @@
+test/test_bounds.ml: Alcotest Cobra_core List Printf QCheck2 QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_cobra.ml: Alcotest Array Cobra_bitset Cobra_core Cobra_graph Cobra_prng Float Printf QCheck2 QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_duality.ml: Alcotest Cobra_bitset Cobra_core Cobra_graph Cobra_parallel Cobra_prng Float List Printf

@@ -1,0 +1,1 @@
+test/test_estimate.ml: Alcotest Cobra_core Cobra_graph Cobra_parallel Cobra_prng Float

@@ -1,0 +1,1 @@
+test/test_exact.ml: Alcotest Array Cobra_bitset Cobra_core Cobra_exact Cobra_graph Cobra_prng Float Hashtbl List Option Printf QCheck2 QCheck_alcotest

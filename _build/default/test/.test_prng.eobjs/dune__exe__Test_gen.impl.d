@@ -1,0 +1,1 @@
+test/test_gen.ml: Alcotest Cobra_graph Cobra_prng Cobra_spectral Float List Printf QCheck2 QCheck_alcotest

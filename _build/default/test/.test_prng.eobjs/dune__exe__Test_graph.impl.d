@@ -1,0 +1,1 @@
+test/test_graph.ml: Alcotest Array Cobra_bitset Cobra_graph Cobra_prng Format Hashtbl List Printf QCheck2 QCheck_alcotest String

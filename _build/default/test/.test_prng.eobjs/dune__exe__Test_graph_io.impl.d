@@ -1,0 +1,1 @@
+test/test_graph_io.ml: Alcotest Cobra_graph Cobra_prng Filename Fun List QCheck2 QCheck_alcotest String Sys

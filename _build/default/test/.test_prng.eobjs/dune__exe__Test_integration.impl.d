@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Array Cobra_bitset Cobra_core Cobra_exact Cobra_graph Cobra_net Cobra_prng Cobra_spectral Float Printf QCheck2 QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_net.ml: Alcotest Cobra_core Cobra_exact Cobra_graph Cobra_net Cobra_prng Float Printf

@@ -1,0 +1,1 @@
+test/test_parallel.ml: Alcotest Array Cobra_parallel Cobra_prng List Printf QCheck2 QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_phases.ml: Alcotest Array Cobra_core Cobra_graph Cobra_parallel Cobra_prng Cobra_spectral Printf

@@ -1,0 +1,1 @@
+test/test_process.ml: Alcotest Cobra_bitset Cobra_core Cobra_graph Cobra_prng Float Hashtbl Option Printf QCheck2 QCheck_alcotest

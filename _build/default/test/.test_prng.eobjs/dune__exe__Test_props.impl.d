@@ -1,0 +1,1 @@
+test/test_props.ml: Alcotest Array Cobra_graph Cobra_prng QCheck2 QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_scale.ml: Alcotest Array Cobra_bitset Cobra_core Cobra_graph Cobra_prng Cobra_spectral Lazy Printf

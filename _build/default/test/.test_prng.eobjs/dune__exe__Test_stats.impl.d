@@ -1,0 +1,1 @@
+test/test_stats.ml: Alcotest Array Cobra_prng Cobra_stats Float Format List QCheck2 QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_walk.ml: Alcotest Cobra_core Cobra_graph Cobra_prng Float Printf QCheck2 QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_walk_theory.ml: Alcotest Array Cobra_core Cobra_graph Cobra_prng Float List Printf QCheck2 QCheck_alcotest

@@ -1,0 +1,164 @@
+(* Tests for the full BIPS runners. *)
+
+module Graph = Cobra_graph.Graph
+module Gen = Cobra_graph.Gen
+module Bitset = Cobra_bitset.Bitset
+module Rng = Cobra_prng.Rng
+module Process = Cobra_core.Process
+module Bips = Cobra_core.Bips
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let test_singleton () =
+  let g = Graph.of_edges ~n:1 [] in
+  Alcotest.(check (option int)) "instant" (Some 0)
+    (Bips.run_infection g (Rng.create 1) ~source:0 ())
+
+let test_k2_one_round () =
+  let g = Gen.complete 2 in
+  for seed = 1 to 20 do
+    Alcotest.(check (option int)) "K2 in one round" (Some 1)
+      (Bips.run_infection g (Rng.create seed) ~source:0 ())
+  done
+
+let test_complete_graph_fast () =
+  let g = Gen.complete 64 in
+  match Bips.run_infection g (Rng.create 2) ~source:0 () with
+  | Some rounds -> check_bool (Printf.sprintf "%d rounds" rounds) true (rounds <= 40)
+  | None -> Alcotest.fail "did not infect K64"
+
+let test_even_cycle_completes () =
+  (* Bipartite, but the persistent source lets both parity classes hold
+     the infection simultaneously. *)
+  let g = Gen.cycle 8 in
+  match Bips.run_infection g (Rng.create 3) ~source:0 () with
+  | Some _ -> ()
+  | None -> Alcotest.fail "plain BIPS stalled on the even cycle"
+
+let test_determinism () =
+  let g = Gen.petersen () in
+  let a = Bips.run_infection g (Rng.create 5) ~source:2 () in
+  let b = Bips.run_infection g (Rng.create 5) ~source:2 () in
+  check_bool "deterministic" true (a = b)
+
+let test_censoring () =
+  let g = Gen.path 40 in
+  Alcotest.(check (option int)) "hard cap" None
+    (Bips.run_infection g (Rng.create 6) ~max_rounds:3 ~source:0 ())
+
+let test_trajectory_invariants () =
+  let g = Gen.random_regular ~n:50 ~r:4 (Rng.create 7) in
+  match Bips.run_trajectory g (Rng.create 8) ~source:0 () with
+  | None -> Alcotest.fail "expected completion"
+  | Some t ->
+      check_int "sizes length" (t.rounds + 1) (Array.length t.sizes);
+      check_int "candidate length" t.rounds (Array.length t.candidate_sizes);
+      check_int "starts at 1" 1 t.sizes.(0);
+      check_int "ends at n" 50 t.sizes.(t.rounds);
+      Array.iter (fun s -> check_bool "size >= 1 (source persists)" true (s >= 1)) t.sizes;
+      (* The paper: C_t is never empty before completion. *)
+      Array.iter (fun c -> check_bool "candidate set non-empty" true (c >= 1)) t.candidate_sizes
+
+let test_infection_rounds_match_trajectory () =
+  let g = Gen.petersen () in
+  let a = Bips.run_infection g (Rng.create 9) ~source:0 () in
+  let b = Option.map (fun (t : Bips.trajectory) -> t.rounds) (Bips.run_trajectory g (Rng.create 9) ~source:0 ()) in
+  check_bool "same rounds (same seed)" true (a = b)
+
+let test_infected_after_zero () =
+  let g = Gen.petersen () in
+  let a = Bips.infected_after g (Rng.create 10) ~rounds:0 ~source:4 () in
+  Alcotest.(check (list int)) "A_0 = {source}" [ 4 ] (Bitset.to_list a)
+
+let test_infected_after_contains_source () =
+  let g = Gen.cycle 9 in
+  for rounds = 0 to 12 do
+    let a = Bips.infected_after g (Rng.create rounds) ~rounds ~source:3 () in
+    check_bool "source always infected" true (Bitset.mem a 3)
+  done
+
+let test_infected_after_validation () =
+  let g = Gen.petersen () in
+  Alcotest.check_raises "negative rounds"
+    (Invalid_argument "Bips.infected_after: negative round count") (fun () ->
+      ignore (Bips.infected_after g (Rng.create 1) ~rounds:(-1) ~source:0 ()));
+  Alcotest.check_raises "bad source" (Invalid_argument "Bips: source vertex out of range")
+    (fun () -> ignore (Bips.run_infection g (Rng.create 1) ~source:(-1) ()))
+
+let test_lazy_and_bernoulli_variants () =
+  let g = Gen.petersen () in
+  (match Bips.run_infection g (Rng.create 11) ~lazy_:true ~source:0 () with
+  | Some _ -> ()
+  | None -> Alcotest.fail "lazy BIPS did not complete");
+  match Bips.run_infection g (Rng.create 12) ~branching:(Process.Bernoulli 0.25) ~source:0 () with
+  | Some _ -> ()
+  | None -> Alcotest.fail "rho = 0.25 BIPS did not complete"
+
+(* Infection spreads along edges: a vertex at BFS distance k cannot be
+   infected before round k. *)
+let infection_respects_distance_test =
+  QCheck2.Test.make ~name:"infected set within distance-t ball" ~count:40
+    QCheck2.Gen.(pair (int_range 4 25) (int_bound 10_000))
+    (fun (n, seed) ->
+      let rng = Rng.create seed in
+      let g = Gen.random_tree ~n rng in
+      let source = 0 in
+      let dist = Cobra_graph.Props.bfs_distances g source in
+      let ok = ref true in
+      for t = 0 to 6 do
+        let a = Bips.infected_after g rng ~rounds:t ~source () in
+        Bitset.iter (fun v -> if dist.(v) > t then ok := false) a
+      done;
+      !ok)
+
+(* Larger branching infects (stochastically) faster; test in the mean
+   over seeds to keep it robust. *)
+let branching_speeds_infection_test =
+  QCheck2.Test.make ~name:"b=2 infects faster than b=1 on average" ~count:5
+    QCheck2.Gen.(int_range 20 40)
+    (fun n ->
+      let g = Gen.cycle n in
+      let mean b =
+        let total = ref 0 in
+        for seed = 1 to 30 do
+          match
+            Bips.run_infection g (Rng.create seed) ~branching:(Process.Fixed b) ~source:0 ()
+          with
+          | Some r -> total := !total + r
+          | None -> total := !total + 1_000_000
+        done;
+        float_of_int !total /. 30.0
+      in
+      mean 2 < mean 1)
+
+let () =
+  Alcotest.run "bips"
+    [
+      ( "infection",
+        [
+          Alcotest.test_case "singleton" `Quick test_singleton;
+          Alcotest.test_case "K2" `Quick test_k2_one_round;
+          Alcotest.test_case "complete graph" `Quick test_complete_graph_fast;
+          Alcotest.test_case "even cycle" `Quick test_even_cycle_completes;
+          Alcotest.test_case "determinism" `Quick test_determinism;
+          Alcotest.test_case "censoring" `Quick test_censoring;
+          Alcotest.test_case "variants" `Quick test_lazy_and_bernoulli_variants;
+        ] );
+      ( "trajectory",
+        [
+          Alcotest.test_case "invariants" `Quick test_trajectory_invariants;
+          Alcotest.test_case "matches run_infection" `Quick test_infection_rounds_match_trajectory;
+        ] );
+      ( "infected_after",
+        [
+          Alcotest.test_case "zero rounds" `Quick test_infected_after_zero;
+          Alcotest.test_case "source persists" `Quick test_infected_after_contains_source;
+          Alcotest.test_case "validation" `Quick test_infected_after_validation;
+        ] );
+      ( "property",
+        [
+          QCheck_alcotest.to_alcotest infection_respects_distance_test;
+          QCheck_alcotest.to_alcotest branching_speeds_infection_test;
+        ] );
+    ]

@@ -1,0 +1,208 @@
+(* Tests for Bitset: unit cases plus a qcheck model check against
+   Stdlib's Set over the same operation sequences. *)
+
+module Bitset = Cobra_bitset.Bitset
+module Rng = Cobra_prng.Rng
+module IntSet = Set.Make (Int)
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let test_empty () =
+  let s = Bitset.create 10 in
+  check_int "cardinal" 0 (Bitset.cardinal s);
+  check_bool "is_empty" true (Bitset.is_empty s);
+  check_int "capacity" 10 (Bitset.capacity s);
+  check_bool "mem" false (Bitset.mem s 3);
+  Alcotest.(check (list int)) "to_list" [] (Bitset.to_list s);
+  check_bool "choose" true (Bitset.choose s = None)
+
+let test_add_remove () =
+  let s = Bitset.create 100 in
+  Bitset.add s 5;
+  Bitset.add s 63;
+  Bitset.add s 64;
+  Bitset.add s 99;
+  check_int "cardinal after adds" 4 (Bitset.cardinal s);
+  check_bool "mem 63 (word boundary)" true (Bitset.mem s 63);
+  check_bool "mem 64" true (Bitset.mem s 64);
+  Bitset.add s 5;
+  check_int "idempotent add" 4 (Bitset.cardinal s);
+  Bitset.remove s 5;
+  check_bool "removed" false (Bitset.mem s 5);
+  check_int "cardinal after remove" 3 (Bitset.cardinal s);
+  Bitset.remove s 5;
+  check_int "idempotent remove" 3 (Bitset.cardinal s)
+
+let test_word_boundaries () =
+  (* Bits 62 (sign bit of word 0), 63 (first bit of word 1) and friends. *)
+  let s = Bitset.create 130 in
+  List.iter (Bitset.add s) [ 0; 61; 62; 63; 125; 126; 129 ];
+  Alcotest.(check (list int)) "sorted members" [ 0; 61; 62; 63; 125; 126; 129 ]
+    (Bitset.to_list s);
+  check_int "cardinal" 7 (Bitset.cardinal s)
+
+let test_fill_clear () =
+  List.iter
+    (fun cap ->
+      let s = Bitset.create cap in
+      Bitset.fill s;
+      check_int (Printf.sprintf "fill cardinal (cap %d)" cap) cap (Bitset.cardinal s);
+      for i = 0 to cap - 1 do
+        if not (Bitset.mem s i) then Alcotest.failf "fill: missing %d at cap %d" i cap
+      done;
+      Bitset.clear s;
+      check_int "clear cardinal" 0 (Bitset.cardinal s))
+    [ 1; 62; 63; 64; 126; 127; 200 ]
+
+let test_ops () =
+  let a = Bitset.of_list 20 [ 1; 2; 3; 10 ] in
+  let b = Bitset.of_list 20 [ 2; 3; 4; 19 ] in
+  let u = Bitset.copy a in
+  Bitset.union_into ~into:u b;
+  Alcotest.(check (list int)) "union" [ 1; 2; 3; 4; 10; 19 ] (Bitset.to_list u);
+  let i = Bitset.copy a in
+  Bitset.inter_into ~into:i b;
+  Alcotest.(check (list int)) "inter" [ 2; 3 ] (Bitset.to_list i);
+  let d = Bitset.copy a in
+  Bitset.diff_into ~into:d b;
+  Alcotest.(check (list int)) "diff" [ 1; 10 ] (Bitset.to_list d);
+  check_bool "intersects" true (Bitset.intersects a b);
+  check_bool "no intersects" false (Bitset.intersects d i)
+
+let test_subset_equal () =
+  let a = Bitset.of_list 10 [ 1; 2 ] in
+  let b = Bitset.of_list 10 [ 1; 2; 3 ] in
+  check_bool "a subset b" true (Bitset.subset a b);
+  check_bool "b not subset a" false (Bitset.subset b a);
+  check_bool "a subset a" true (Bitset.subset a a);
+  check_bool "not equal" false (Bitset.equal a b);
+  check_bool "equal to copy" true (Bitset.equal a (Bitset.copy a))
+
+let test_blit () =
+  let a = Bitset.of_list 10 [ 1; 2 ] in
+  let b = Bitset.of_list 10 [ 7 ] in
+  Bitset.blit ~src:a ~dst:b;
+  check_bool "blit equal" true (Bitset.equal a b);
+  Bitset.add b 9;
+  check_bool "blit decoupled" false (Bitset.equal a b)
+
+let test_choose_fold () =
+  let s = Bitset.of_list 50 [ 42; 7; 13 ] in
+  check_bool "choose = min" true (Bitset.choose s = Some 7);
+  check_int "fold sum" 62 (Bitset.fold (fun i acc -> i + acc) s 0);
+  Alcotest.(check (array int)) "to_array" [| 7; 13; 42 |] (Bitset.to_array s)
+
+let test_random_member () =
+  let s = Bitset.of_list 200 [ 3; 64; 126; 190 ] in
+  let rng = Rng.create 7 in
+  let counts = Hashtbl.create 4 in
+  for _ = 1 to 4000 do
+    let v = Bitset.random_member s rng in
+    check_bool "member" true (Bitset.mem s v);
+    Hashtbl.replace counts v (1 + Option.value ~default:0 (Hashtbl.find_opt counts v))
+  done;
+  check_int "all members drawn" 4 (Hashtbl.length counts);
+  Hashtbl.iter
+    (fun v c ->
+      check_bool (Printf.sprintf "member %d frequency %d sane" v c) true (c > 700 && c < 1300))
+    counts;
+  let empty = Bitset.create 5 in
+  Alcotest.check_raises "empty random_member"
+    (Invalid_argument "Bitset.random_member: empty set") (fun () ->
+      ignore (Bitset.random_member empty rng))
+
+let test_errors () =
+  let s = Bitset.create 10 in
+  Alcotest.check_raises "out of range" (Invalid_argument "Bitset: element 10 out of range [0, 10)")
+    (fun () -> Bitset.add s 10);
+  Alcotest.check_raises "negative" (Invalid_argument "Bitset: element -1 out of range [0, 10)")
+    (fun () -> ignore (Bitset.mem s (-1)));
+  let t = Bitset.create 11 in
+  Alcotest.check_raises "capacity mismatch"
+    (Invalid_argument "Bitset: operands have different capacities") (fun () ->
+      Bitset.union_into ~into:s t);
+  Alcotest.check_raises "negative capacity" (Invalid_argument "Bitset.create: negative capacity")
+    (fun () -> ignore (Bitset.create (-1)))
+
+let test_pp () =
+  let s = Bitset.of_list 10 [ 3; 1; 7 ] in
+  Alcotest.(check string) "pp" "{1, 3, 7}" (Format.asprintf "%a" Bitset.pp s)
+
+(* --- Model check against Set.Make(Int) --- *)
+
+type op = Add of int | Remove of int
+
+let op_gen cap =
+  QCheck2.Gen.(
+    oneof
+      [
+        map (fun i -> Add (i mod cap)) (int_bound (cap - 1));
+        map (fun i -> Remove (i mod cap)) (int_bound (cap - 1));
+      ])
+
+let model_test =
+  QCheck2.Test.make ~name:"bitset agrees with Set over op sequences" ~count:200
+    QCheck2.Gen.(pair (int_range 1 200) (list_size (int_bound 300) (op_gen 200)))
+    (fun (cap, ops) ->
+      let cap = max cap 1 in
+      let ops = List.map (function Add i -> Add (i mod cap) | Remove i -> Remove (i mod cap)) ops in
+      let bs = Bitset.create cap in
+      let model = ref IntSet.empty in
+      List.iter
+        (function
+          | Add i ->
+              Bitset.add bs i;
+              model := IntSet.add i !model
+          | Remove i ->
+              Bitset.remove bs i;
+              model := IntSet.remove i !model)
+        ops;
+      Bitset.cardinal bs = IntSet.cardinal !model
+      && Bitset.to_list bs = IntSet.elements !model
+      && IntSet.for_all (fun i -> Bitset.mem bs i) !model)
+
+let binop_test =
+  QCheck2.Test.make ~name:"bitset binary ops agree with Set" ~count:200
+    QCheck2.Gen.(
+      triple (int_range 1 150)
+        (list_size (int_bound 100) (int_bound 149))
+        (list_size (int_bound 100) (int_bound 149)))
+    (fun (cap, xs, ys) ->
+      let xs = List.map (fun i -> i mod cap) xs and ys = List.map (fun i -> i mod cap) ys in
+      let a = Bitset.of_list cap xs and b = Bitset.of_list cap ys in
+      let sa = IntSet.of_list xs and sb = IntSet.of_list ys in
+      let test op set_op =
+        let t = Bitset.copy a in
+        op ~into:t b;
+        Bitset.to_list t = IntSet.elements (set_op sa sb)
+      in
+      test Bitset.union_into IntSet.union
+      && test Bitset.inter_into IntSet.inter
+      && test Bitset.diff_into IntSet.diff
+      && Bitset.subset a b = IntSet.subset sa sb
+      && Bitset.intersects a b = not (IntSet.is_empty (IntSet.inter sa sb)))
+
+let () =
+  Alcotest.run "bitset"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "empty" `Quick test_empty;
+          Alcotest.test_case "add/remove" `Quick test_add_remove;
+          Alcotest.test_case "word boundaries" `Quick test_word_boundaries;
+          Alcotest.test_case "fill/clear" `Quick test_fill_clear;
+          Alcotest.test_case "set ops" `Quick test_ops;
+          Alcotest.test_case "subset/equal" `Quick test_subset_equal;
+          Alcotest.test_case "blit" `Quick test_blit;
+          Alcotest.test_case "choose/fold" `Quick test_choose_fold;
+          Alcotest.test_case "random_member" `Quick test_random_member;
+          Alcotest.test_case "errors" `Quick test_errors;
+          Alcotest.test_case "pp" `Quick test_pp;
+        ] );
+      ( "property",
+        [
+          QCheck_alcotest.to_alcotest model_test;
+          QCheck_alcotest.to_alcotest binop_test;
+        ] );
+    ]

@@ -1,0 +1,144 @@
+(* Tests for the bound formulas: hand-computed values, monotonicity, and
+   the cross-bound relations the paper asserts. *)
+
+module Bounds = Cobra_core.Bounds
+
+let check_float msg ?(eps = 1e-9) expected actual = Alcotest.(check (float eps)) msg expected actual
+let check_bool = Alcotest.(check bool)
+
+let ln n = log (float_of_int n)
+
+let test_log2 () =
+  check_float "log2 8" 3.0 (Bounds.log2 8.0);
+  check_float "log2 1024" 10.0 (Bounds.log2 1024.0)
+
+let test_this_paper_general () =
+  (* m + dmax^2 ln n. *)
+  check_float "value" (100.0 +. (25.0 *. ln 50)) (Bounds.this_paper_general ~n:50 ~m:100 ~dmax:5)
+
+let test_this_paper_regular () =
+  (* (r/(1-lambda) + r^2) ln n. *)
+  check_float "value"
+    (((3.0 /. 0.5) +. 9.0) *. ln 100)
+    (Bounds.this_paper_regular ~n:100 ~r:3 ~lambda:0.5)
+
+let test_podc16 () =
+  check_float "value" (ln 100 /. 0.125) (Bounds.podc16_regular ~n:100 ~lambda:0.5)
+
+let test_spaa16_regular () =
+  check_float "value" (16.0 /. 0.25 *. ln 100 *. ln 100)
+    (Bounds.spaa16_regular ~n:100 ~r:2 ~phi:0.5)
+
+let test_spaa16_general () =
+  check_float "value" ((100.0 ** 2.75) *. ln 100) (Bounds.spaa16_general ~n:100)
+
+let test_grid_bounds () =
+  check_float "spaa16 grid" (4.0 *. 10.0) (Bounds.spaa16_grid ~n:100 ~dim:2);
+  check_float "dutta grid" 10.0 (Bounds.dutta_grid ~n:100 ~dim:2)
+
+let test_dutta () =
+  check_float "complete" (ln 100) (Bounds.dutta_complete ~n:100);
+  check_float "expander" (ln 100 *. ln 100) (Bounds.dutta_expander ~n:100)
+
+let test_lower_bound () =
+  check_float "diameter dominates" 50.0 (Bounds.lower_bound ~n:16 ~diameter:50);
+  check_float "log dominates" 10.0 (Bounds.lower_bound ~n:1024 ~diameter:3)
+
+let test_walk_lower () =
+  check_float "n ln n" (100.0 *. ln 100) (Bounds.walk_cover_lower ~n:100)
+
+let test_rho_scaling () =
+  check_float "rho=1" 1.0 (Bounds.rho_scaling ~rho:1.0);
+  check_float "rho=1/2" 4.0 (Bounds.rho_scaling ~rho:0.5);
+  check_float "rho=1/4" 16.0 (Bounds.rho_scaling ~rho:0.25)
+
+let test_cheeger () =
+  check_float "phi^2/2" 0.08 (Bounds.cheeger_gap_of_phi ~phi:0.4)
+
+let test_validation () =
+  Alcotest.check_raises "lambda = 1"
+    (Invalid_argument "Bounds: lambda must be in [0, 1) (is the graph connected and non-bipartite?)")
+    (fun () -> ignore (Bounds.this_paper_regular ~n:10 ~r:3 ~lambda:1.0));
+  Alcotest.check_raises "negative lambda"
+    (Invalid_argument "Bounds: lambda must be in [0, 1) (is the graph connected and non-bipartite?)")
+    (fun () -> ignore (Bounds.podc16_regular ~n:10 ~lambda:(-0.1)));
+  Alcotest.check_raises "phi = 0" (Invalid_argument "Bounds.spaa16_regular: phi must be positive")
+    (fun () -> ignore (Bounds.spaa16_regular ~n:10 ~r:3 ~phi:0.0));
+  Alcotest.check_raises "rho = 0" (Invalid_argument "Bounds.rho_scaling: rho must be in (0, 1]")
+    (fun () -> ignore (Bounds.rho_scaling ~rho:0.0))
+
+(* The headline comparison of the paper (Section 1, hypercube example):
+   with r = log n and gap = 1/log n, this paper gives Theta(log^3 n),
+   PODC'16 gives Theta(log^4 n) and SPAA'16 gives Theta(log^8 n) — so the
+   three bounds must be ordered on large hypercubes. *)
+let test_hypercube_bound_ordering () =
+  List.iter
+    (fun d ->
+      let n = 1 lsl d in
+      let r = d in
+      let lambda = 1.0 -. (1.0 /. float_of_int d) in
+      let phi = 1.0 /. float_of_int d in
+      let this_paper = Bounds.this_paper_regular ~n ~r ~lambda in
+      let podc = Bounds.podc16_regular ~n ~lambda in
+      let spaa16 = Bounds.spaa16_regular ~n ~r ~phi in
+      check_bool
+        (Printf.sprintf "d=%d: this paper %.0f < PODC %.0f" d this_paper podc)
+        true (this_paper < podc);
+      check_bool
+        (Printf.sprintf "d=%d: PODC %.0f < SPAA16 %.0f" d podc spaa16)
+        true (podc < spaa16))
+    [ 10; 14; 20 ]
+
+(* Theorem 1.2 improves PODC'16 exactly when 1 - lambda = o(1/sqrt r):
+   check the crossover behaves as claimed. *)
+let test_regular_bound_crossover () =
+  let n = 1 lsl 20 in
+  let r = 64 in
+  (* Small gap: 1 - lambda << 1/sqrt r = 1/8. *)
+  let small_gap = 0.001 in
+  check_bool "small gap: new bound wins" true
+    (Bounds.this_paper_regular ~n ~r ~lambda:(1.0 -. small_gap)
+    < Bounds.podc16_regular ~n ~lambda:(1.0 -. small_gap));
+  (* Large gap: 1 - lambda >> 1/sqrt r; the r^2 term makes the old bound
+     competitive. *)
+  let large_gap = 0.9 in
+  check_bool "large gap: old bound wins" true
+    (Bounds.podc16_regular ~n ~lambda:(1.0 -. large_gap)
+    < Bounds.this_paper_regular ~n ~r ~lambda:(1.0 -. large_gap))
+
+(* General bound: this paper beats SPAA'16's n^{11/4} log n on every
+   graph once n is moderately large, since m <= n^2. *)
+let general_improvement_test =
+  QCheck2.Test.make ~name:"thm 1.1 below n^{11/4} log n for n >= 16" ~count:50
+    QCheck2.Gen.(int_range 16 100_000)
+    (fun n ->
+      (* Worst case for the new bound: m = n(n-1)/2, dmax = n-1. *)
+      let m = n * (n - 1) / 2 in
+      Bounds.this_paper_general ~n ~m ~dmax:(n - 1) <= Bounds.spaa16_general ~n)
+
+let () =
+  Alcotest.run "bounds"
+    [
+      ( "formulas",
+        [
+          Alcotest.test_case "log2" `Quick test_log2;
+          Alcotest.test_case "thm 1.1" `Quick test_this_paper_general;
+          Alcotest.test_case "thm 1.2" `Quick test_this_paper_regular;
+          Alcotest.test_case "podc16" `Quick test_podc16;
+          Alcotest.test_case "spaa16 regular" `Quick test_spaa16_regular;
+          Alcotest.test_case "spaa16 general" `Quick test_spaa16_general;
+          Alcotest.test_case "grid bounds" `Quick test_grid_bounds;
+          Alcotest.test_case "dutta" `Quick test_dutta;
+          Alcotest.test_case "lower bound" `Quick test_lower_bound;
+          Alcotest.test_case "walk lower" `Quick test_walk_lower;
+          Alcotest.test_case "rho scaling" `Quick test_rho_scaling;
+          Alcotest.test_case "cheeger" `Quick test_cheeger;
+          Alcotest.test_case "validation" `Quick test_validation;
+        ] );
+      ( "paper comparisons",
+        [
+          Alcotest.test_case "hypercube ordering" `Quick test_hypercube_bound_ordering;
+          Alcotest.test_case "regular crossover" `Quick test_regular_bound_crossover;
+          QCheck_alcotest.to_alcotest general_improvement_test;
+        ] );
+    ]

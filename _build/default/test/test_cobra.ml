@@ -1,0 +1,241 @@
+(* Tests for the full COBRA runners. *)
+
+module Graph = Cobra_graph.Graph
+module Gen = Cobra_graph.Gen
+module Props = Cobra_graph.Props
+module Bitset = Cobra_bitset.Bitset
+module Rng = Cobra_prng.Rng
+module Process = Cobra_core.Process
+module Cobra = Cobra_core.Cobra
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let test_singleton_graph () =
+  let g = Graph.of_edges ~n:1 [] in
+  let rng = Rng.create 1 in
+  Alcotest.(check (option int)) "already covered" (Some 0) (Cobra.run_cover g rng ~start:0 ())
+
+let test_k2_always_one_round () =
+  let g = Gen.complete 2 in
+  let rng = Rng.create 2 in
+  for _ = 1 to 50 do
+    Alcotest.(check (option int)) "one round" (Some 1) (Cobra.run_cover g rng ~start:0 ())
+  done
+
+let test_complete_graph_fast () =
+  let g = Gen.complete 64 in
+  let rng = Rng.create 3 in
+  match Cobra.run_cover g rng ~start:0 () with
+  | Some rounds -> check_bool (Printf.sprintf "K64 covered in %d rounds" rounds) true (rounds <= 30)
+  | None -> Alcotest.fail "K64 not covered"
+
+let test_determinism () =
+  let g = Gen.petersen () in
+  let a = Cobra.run_cover g (Rng.create 7) ~start:0 () in
+  let b = Cobra.run_cover g (Rng.create 7) ~start:0 () in
+  check_bool "same seed, same rounds" true (a = b)
+
+let test_max_rounds_censoring () =
+  let g = Gen.complete 2 in
+  let rng = Rng.create 4 in
+  Alcotest.(check (option int)) "cap 0" None (Cobra.run_cover g rng ~max_rounds:0 ~start:0 ())
+
+let test_detailed_run_invariants () =
+  let g = Gen.random_regular ~n:64 ~r:4 (Rng.create 5) in
+  match Cobra.run_cover_detailed g (Rng.create 6) ~start:0 () with
+  | None -> Alcotest.fail "expected coverage"
+  | Some run ->
+      check_int "visited trajectory length" (run.rounds + 1) (Array.length run.visited_sizes);
+      check_int "active trajectory length" (run.rounds + 1) (Array.length run.active_sizes);
+      check_int "starts at one" 1 run.visited_sizes.(0);
+      check_int "ends covered" 64 run.visited_sizes.(run.rounds);
+      (* Visited counts are non-decreasing. *)
+      for t = 1 to run.rounds do
+        if run.visited_sizes.(t) < run.visited_sizes.(t - 1) then
+          Alcotest.failf "visited shrank at round %d" t
+      done;
+      (* With b = 2 exactly 2|C_t| transmissions happen per round. *)
+      let expected_tx = ref 0 in
+      for t = 0 to run.rounds - 1 do
+        expected_tx := !expected_tx + (2 * run.active_sizes.(t))
+      done;
+      check_int "transmission accounting" !expected_tx run.transmissions;
+      (* Each active vertex spawns at most b = 2 particles, so the active
+         set at most doubles per round (the lower-bound argument of
+         Section 1), and the visited set grows by at most |C_t|. *)
+      for t = 1 to run.rounds do
+        if run.active_sizes.(t) > 2 * run.active_sizes.(t - 1) then
+          Alcotest.failf "active set more than doubled at round %d" t;
+        if run.visited_sizes.(t) > run.visited_sizes.(t - 1) + run.active_sizes.(t) then
+          Alcotest.failf "visited set grew faster than the active set at round %d" t
+      done
+
+let test_b1_is_single_particle () =
+  let g = Gen.cycle 16 in
+  match
+    Cobra.run_cover_detailed g (Rng.create 8) ~branching:(Process.Fixed 1) ~start:0 ()
+  with
+  | None -> Alcotest.fail "walk did not cover"
+  | Some run ->
+      Array.iter (fun c -> check_int "|C_t| = 1 for b = 1" 1 c) run.active_sizes
+
+let test_cover_ge_diameter () =
+  (* Particles travel one hop per round, so cover >= eccentricity(start). *)
+  let g = Gen.path 20 in
+  match Cobra.run_cover g (Rng.create 9) ~start:0 () with
+  | Some rounds -> check_bool "at least the path length" true (rounds >= 19)
+  | None -> Alcotest.fail "path not covered"
+
+let test_lazy_covers_bipartite () =
+  let g = Gen.cycle 12 in
+  match Cobra.run_cover g (Rng.create 10) ~lazy_:true ~start:0 () with
+  | Some rounds -> check_bool "lazy covers even cycle" true (rounds >= 6)
+  | None -> Alcotest.fail "lazy run did not cover"
+
+let test_plain_covers_bipartite_too () =
+  (* Coverage is about the union of C_t, so plain COBRA covers bipartite
+     graphs as well — only the spectral bound formulas degenerate. *)
+  let g = Gen.hypercube 4 in
+  match Cobra.run_cover g (Rng.create 11) ~start:0 () with
+  | Some _ -> ()
+  | None -> Alcotest.fail "plain COBRA failed on the hypercube"
+
+let test_bernoulli_branching_covers () =
+  let g = Gen.petersen () in
+  match Cobra.run_cover g (Rng.create 12) ~branching:(Process.Bernoulli 0.5) ~start:0 () with
+  | Some rounds -> check_bool "covers" true (rounds >= 2)
+  | None -> Alcotest.fail "rho = 0.5 did not cover"
+
+let test_validation () =
+  let g = Gen.petersen () in
+  let rng = Rng.create 13 in
+  Alcotest.check_raises "bad start" (Invalid_argument "Cobra: start vertex out of range")
+    (fun () -> ignore (Cobra.run_cover g rng ~start:10 ()));
+  Alcotest.check_raises "empty graph" (Invalid_argument "Cobra: empty graph") (fun () ->
+      ignore (Cobra.run_cover (Graph.of_edges ~n:0 []) rng ~start:0 ()))
+
+(* --- coalescence accounting --- *)
+
+let test_coalesce_stats () =
+  let g = Gen.random_regular ~n:64 ~r:4 (Rng.create 20) in
+  match Cobra.run_cover_detailed g (Rng.create 21) ~start:0 () with
+  | None -> Alcotest.fail "expected coverage"
+  | Some run ->
+      let s = Cobra_core.Coalesce.of_run run in
+      check_int "rounds consistent" run.rounds s.rounds;
+      check_int "sent equals transmissions" run.transmissions s.total_sent;
+      check_bool "waste in [0, 1)" true (s.waste >= 0.0 && s.waste < 1.0);
+      check_bool "coalesced < sent" true (s.total_coalesced < s.total_sent);
+      check_bool "peak within n" true (s.peak_active <= 64);
+      check_bool "mean <= peak" true (s.mean_active <= float_of_int s.peak_active);
+      (* sent = survivors + coalesced. *)
+      let survivors = ref 0 in
+      for t = 1 to run.rounds do
+        survivors := !survivors + run.active_sizes.(t)
+      done;
+      check_int "accounting identity" s.total_sent (!survivors + s.total_coalesced)
+
+let test_coalesce_k2_no_waste_is_impossible () =
+  (* On K2 both picks always land on the single neighbour: exactly one
+     survivor of two sends per round, waste = 1/2. *)
+  let g = Gen.complete 2 in
+  match Cobra.run_cover_detailed g (Rng.create 22) ~start:0 () with
+  | None -> Alcotest.fail "expected coverage"
+  | Some run ->
+      let s = Cobra_core.Coalesce.of_run run in
+      Alcotest.(check (float 1e-9)) "waste exactly 1/2" 0.5 s.waste
+
+(* --- hitting times --- *)
+
+let test_hitting_time_trivial () =
+  let g = Gen.petersen () in
+  let rng = Rng.create 14 in
+  let start = Bitset.of_list 10 [ 3 ] in
+  Alcotest.(check (option int)) "target in start" (Some 0)
+    (Cobra.hitting_time g rng ~start ~target:3 ())
+
+let test_hitting_time_k2 () =
+  let g = Gen.complete 2 in
+  let rng = Rng.create 15 in
+  let start = Bitset.of_list 2 [ 0 ] in
+  for _ = 1 to 20 do
+    Alcotest.(check (option int)) "K2 hit in 1" (Some 1)
+      (Cobra.hitting_time g rng ~start ~target:1 ())
+  done
+
+let test_hitting_time_respects_cap () =
+  let g = Gen.path 30 in
+  let rng = Rng.create 16 in
+  let start = Bitset.of_list 30 [ 0 ] in
+  Alcotest.(check (option int)) "cannot reach in 5 rounds" None
+    (Cobra.hitting_time g rng ~max_rounds:5 ~start ~target:29 ())
+
+let test_hitting_time_validation () =
+  let g = Gen.petersen () in
+  let rng = Rng.create 17 in
+  Alcotest.check_raises "empty start" (Invalid_argument "Cobra.hitting_time: empty start set")
+    (fun () -> ignore (Cobra.hitting_time g rng ~start:(Bitset.create 10) ~target:0 ()));
+  Alcotest.check_raises "capacity mismatch"
+    (Invalid_argument "Cobra.hitting_time: start set capacity does not match the graph")
+    (fun () -> ignore (Cobra.hitting_time g rng ~start:(Bitset.of_list 5 [ 0 ]) ~target:0 ()))
+
+let hitting_ge_distance_test =
+  QCheck2.Test.make ~name:"hitting time >= BFS distance" ~count:40
+    QCheck2.Gen.(pair (int_range 4 30) (int_bound 10_000))
+    (fun (n, seed) ->
+      let rng = Rng.create seed in
+      let g = Gen.random_tree ~n rng in
+      let target = n - 1 in
+      let start = Bitset.of_list n [ 0 ] in
+      let dist = (Props.bfs_distances g 0).(target) in
+      match Cobra.hitting_time g rng ~start ~target () with
+      | Some h -> h >= dist
+      | None -> true)
+
+let cover_ge_log2_test =
+  QCheck2.Test.make ~name:"cover time >= log2 n" ~count:30
+    QCheck2.Gen.(int_range 4 64)
+    (fun n ->
+      let rng = Rng.create (n * 31) in
+      let g = Gen.complete n in
+      match Cobra.run_cover g rng ~start:0 () with
+      | Some rounds -> float_of_int rounds >= Float.of_int (int_of_float (log (float_of_int n) /. log 2.0))
+      | None -> false)
+
+let () =
+  Alcotest.run "cobra"
+    [
+      ( "cover",
+        [
+          Alcotest.test_case "singleton" `Quick test_singleton_graph;
+          Alcotest.test_case "K2" `Quick test_k2_always_one_round;
+          Alcotest.test_case "complete graph" `Quick test_complete_graph_fast;
+          Alcotest.test_case "determinism" `Quick test_determinism;
+          Alcotest.test_case "censoring" `Quick test_max_rounds_censoring;
+          Alcotest.test_case "detailed invariants" `Quick test_detailed_run_invariants;
+          Alcotest.test_case "b=1 single particle" `Quick test_b1_is_single_particle;
+          Alcotest.test_case "cover >= diameter" `Quick test_cover_ge_diameter;
+          Alcotest.test_case "lazy bipartite" `Quick test_lazy_covers_bipartite;
+          Alcotest.test_case "plain bipartite" `Quick test_plain_covers_bipartite_too;
+          Alcotest.test_case "bernoulli branching" `Quick test_bernoulli_branching_covers;
+          Alcotest.test_case "validation" `Quick test_validation;
+        ] );
+      ( "coalescence",
+        [
+          Alcotest.test_case "accounting" `Quick test_coalesce_stats;
+          Alcotest.test_case "K2 waste" `Quick test_coalesce_k2_no_waste_is_impossible;
+        ] );
+      ( "hitting",
+        [
+          Alcotest.test_case "trivial" `Quick test_hitting_time_trivial;
+          Alcotest.test_case "K2" `Quick test_hitting_time_k2;
+          Alcotest.test_case "cap" `Quick test_hitting_time_respects_cap;
+          Alcotest.test_case "validation" `Quick test_hitting_time_validation;
+        ] );
+      ( "property",
+        [
+          QCheck_alcotest.to_alcotest hitting_ge_distance_test;
+          QCheck_alcotest.to_alcotest cover_ge_log2_test;
+        ] );
+    ]

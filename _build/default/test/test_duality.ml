@@ -1,0 +1,192 @@
+(* Statistical verification of the duality theorem (Theorem 1.3).
+
+   The theorem asserts an exact identity between a COBRA hitting
+   probability and a BIPS avoidance probability.  Both sides are
+   estimated by independent Monte Carlo with fixed seeds, so each check
+   below is deterministic; the tolerance is several standard errors plus
+   a small absolute slack, which a correct implementation passes with
+   huge margin and an off-by-one-round implementation reliably fails
+   (at round counts where the probabilities move fast). *)
+
+module Gen = Cobra_graph.Gen
+module Bitset = Cobra_bitset.Bitset
+module Rng = Cobra_prng.Rng
+module Pool = Cobra_parallel.Pool
+module Process = Cobra_core.Process
+module Duality = Cobra_core.Duality
+
+let check_bool = Alcotest.(check bool)
+
+let tolerance (e : Duality.estimate) = (5.0 *. e.stderr) +. 0.015
+
+let assert_close name (e : Duality.estimate) =
+  let gap = Float.abs (e.cobra_miss -. e.bips_miss) in
+  check_bool
+    (Printf.sprintf "%s: |%.4f - %.4f| = %.4f <= %.4f" name e.cobra_miss e.bips_miss gap
+       (tolerance e))
+    true
+    (gap <= tolerance e)
+
+let with_pool f = Pool.with_pool ~num_domains:3 f
+
+let trials = 3000
+
+let test_duality_path () =
+  with_pool (fun pool ->
+      let g = Gen.path 6 in
+      let c_set = Bitset.of_list 6 [ 5 ] in
+      List.iter
+        (fun t ->
+          assert_close
+            (Printf.sprintf "P6 T=%d" t)
+            (Duality.check ~pool ~master_seed:(100 + t) ~trials g ~c_set ~v:0 ~t))
+        [ 0; 3; 5; 8; 12; 20 ])
+
+let test_duality_cycle () =
+  with_pool (fun pool ->
+      let g = Gen.cycle 7 in
+      let c_set = Bitset.of_list 7 [ 3 ] in
+      List.iter
+        (fun t ->
+          assert_close
+            (Printf.sprintf "C7 T=%d" t)
+            (Duality.check ~pool ~master_seed:(200 + t) ~trials g ~c_set ~v:0 ~t))
+        [ 1; 3; 6; 10 ])
+
+let test_duality_petersen () =
+  with_pool (fun pool ->
+      let g = Gen.petersen () in
+      let c_set = Bitset.of_list 10 [ 7 ] in
+      List.iter
+        (fun t ->
+          assert_close
+            (Printf.sprintf "petersen T=%d" t)
+            (Duality.check ~pool ~master_seed:(300 + t) ~trials g ~c_set ~v:1 ~t))
+        [ 1; 2; 3; 5 ])
+
+let test_duality_multi_vertex_start () =
+  (* C with several vertices exercises the set side of the theorem. *)
+  with_pool (fun pool ->
+      let g = Gen.complete 6 in
+      let c_set = Bitset.of_list 6 [ 2; 4; 5 ] in
+      List.iter
+        (fun t ->
+          assert_close
+            (Printf.sprintf "K6 |C|=3 T=%d" t)
+            (Duality.check ~pool ~master_seed:(400 + t) ~trials g ~c_set ~v:0 ~t))
+        [ 0; 1; 2 ])
+
+let test_duality_bernoulli_branching () =
+  (* Theorem 1.3 holds for any b = 1 + rho (Section 6). *)
+  with_pool (fun pool ->
+      let g = Gen.cycle 6 in
+      let c_set = Bitset.of_list 6 [ 3 ] in
+      List.iter
+        (fun t ->
+          assert_close
+            (Printf.sprintf "rho=0.5 T=%d" t)
+            (Duality.check ~pool ~master_seed:(500 + t) ~trials
+               ~branching:(Process.Bernoulli 0.5) g ~c_set ~v:0 ~t))
+        [ 2; 4; 8 ])
+
+let test_duality_b3 () =
+  (* Theorem 1.3 is stated for any integer b >= 1; exercise b = 3. *)
+  with_pool (fun pool ->
+      let g = Gen.petersen () in
+      let c_set = Bitset.of_list 10 [ 9 ] in
+      List.iter
+        (fun t ->
+          assert_close
+            (Printf.sprintf "b=3 T=%d" t)
+            (Duality.check ~pool ~master_seed:(800 + t) ~trials ~branching:(Process.Fixed 3) g
+               ~c_set ~v:0 ~t))
+        [ 1; 2; 4 ])
+
+let test_duality_b1_walk () =
+  (* b = 1: COBRA is a random walk; the dual still matches. *)
+  with_pool (fun pool ->
+      let g = Gen.path 5 in
+      let c_set = Bitset.of_list 5 [ 4 ] in
+      List.iter
+        (fun t ->
+          assert_close
+            (Printf.sprintf "b=1 T=%d" t)
+            (Duality.check ~pool ~master_seed:(600 + t) ~trials ~branching:(Process.Fixed 1) g
+               ~c_set ~v:0 ~t))
+        [ 4; 8; 16 ])
+
+let test_duality_lazy () =
+  with_pool (fun pool ->
+      let g = Gen.cycle 8 in
+      (* Bipartite: the lazy variant is the well-behaved one. *)
+      let c_set = Bitset.of_list 8 [ 4 ] in
+      List.iter
+        (fun t ->
+          assert_close
+            (Printf.sprintf "lazy T=%d" t)
+            (Duality.check ~pool ~master_seed:(700 + t) ~trials ~lazy_:true g ~c_set ~v:0 ~t))
+        [ 3; 6; 12 ])
+
+let test_horizon_zero_exact () =
+  (* At T = 0 both sides are indicator functions: miss iff v not in C. *)
+  with_pool (fun pool ->
+      let g = Gen.petersen () in
+      let inside = Duality.check ~pool ~master_seed:1 ~trials:50 g
+          ~c_set:(Bitset.of_list 10 [ 2 ]) ~v:2 ~t:0
+      in
+      check_bool "v in C: both zero" true
+        (inside.cobra_miss = 0.0 && inside.bips_miss = 0.0);
+      let outside = Duality.check ~pool ~master_seed:2 ~trials:50 g
+          ~c_set:(Bitset.of_list 10 [ 3 ]) ~v:2 ~t:0
+      in
+      check_bool "v not in C: both one" true
+        (outside.cobra_miss = 1.0 && outside.bips_miss = 1.0))
+
+let test_scan_and_gap () =
+  with_pool (fun pool ->
+      let g = Gen.cycle 5 in
+      let c_set = Bitset.of_list 5 [ 2 ] in
+      let scans = Duality.scan ~pool ~master_seed:11 ~trials:2000 g ~c_set ~v:0 ~ts:[ 0; 2; 4; 8 ] in
+      Alcotest.(check int) "one estimate per horizon" 4 (List.length scans);
+      (* Misses decrease with the horizon (coverage only grows). *)
+      let misses = List.map (fun (_, (e : Duality.estimate)) -> e.cobra_miss) scans in
+      let rec non_increasing = function
+        | a :: (b :: _ as rest) -> a >= b -. 0.05 && non_increasing rest
+        | _ -> true
+      in
+      check_bool "miss probability non-increasing in T" true (non_increasing misses);
+      check_bool "max gap small" true (Duality.max_abs_gap scans < 0.06))
+
+let test_validation () =
+  with_pool (fun pool ->
+      let g = Gen.petersen () in
+      Alcotest.check_raises "empty C" (Invalid_argument "Duality.check: C must be non-empty")
+        (fun () ->
+          ignore (Duality.check ~pool ~master_seed:1 ~trials:10 g ~c_set:(Bitset.create 10) ~v:0 ~t:1));
+      Alcotest.check_raises "negative horizon" (Invalid_argument "Duality.check: negative horizon")
+        (fun () ->
+          ignore
+            (Duality.check ~pool ~master_seed:1 ~trials:10 g ~c_set:(Bitset.of_list 10 [ 1 ]) ~v:0
+               ~t:(-1))))
+
+let () =
+  Alcotest.run "duality"
+    [
+      ( "theorem 1.3",
+        [
+          Alcotest.test_case "path" `Slow test_duality_path;
+          Alcotest.test_case "cycle" `Slow test_duality_cycle;
+          Alcotest.test_case "petersen" `Slow test_duality_petersen;
+          Alcotest.test_case "multi-vertex C" `Slow test_duality_multi_vertex_start;
+          Alcotest.test_case "bernoulli branching" `Slow test_duality_bernoulli_branching;
+          Alcotest.test_case "b=1 walk" `Slow test_duality_b1_walk;
+          Alcotest.test_case "b=3" `Slow test_duality_b3;
+          Alcotest.test_case "lazy variant" `Slow test_duality_lazy;
+        ] );
+      ( "mechanics",
+        [
+          Alcotest.test_case "horizon zero" `Quick test_horizon_zero_exact;
+          Alcotest.test_case "scan" `Quick test_scan_and_gap;
+          Alcotest.test_case "validation" `Quick test_validation;
+        ] );
+    ]

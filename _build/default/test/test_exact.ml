@@ -1,0 +1,344 @@
+(* Tests for the exact subset-chain solvers, and cross-validation of the
+   Monte-Carlo engines against them. *)
+
+module Graph = Cobra_graph.Graph
+module Gen = Cobra_graph.Gen
+module Rng = Cobra_prng.Rng
+module Process = Cobra_core.Process
+module Subset = Cobra_exact.Subset
+module Cobra_chain = Cobra_exact.Cobra_chain
+module Bips_chain = Cobra_exact.Bips_chain
+module Duality_exact = Cobra_exact.Duality_exact
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_float msg ?(eps = 1e-9) expected actual = Alcotest.(check (float eps)) msg expected actual
+
+(* --- Subset --- *)
+
+let test_subset_basics () =
+  check_int "full 3" 0b111 (Subset.full 3);
+  check_bool "mem" true (Subset.mem 0b101 2);
+  check_bool "not mem" false (Subset.mem 0b101 1);
+  check_int "add" 0b111 (Subset.add 0b101 1);
+  check_int "cardinal" 2 (Subset.cardinal 0b101);
+  Alcotest.check_raises "too large"
+    (Invalid_argument "Cobra_exact: exact solvers support n <= 20, got 21") (fun () ->
+      Subset.check_n 21)
+
+let test_subset_enumeration () =
+  let seen = ref [] in
+  Subset.iter_subsets_of 0b101 (fun s -> seen := s :: !seen);
+  Alcotest.(check (list int)) "submasks of {0,2}" [ 0b000; 0b001; 0b100; 0b101 ]
+    (List.sort compare !seen)
+
+let test_subset_neighborhood () =
+  let g = Gen.path 4 in
+  check_int "N({0})" 0b0010 (Subset.neighborhood_mask g 0b0001);
+  check_int "N({1,2})" 0b1111 (Subset.neighborhood_mask g 0b0110);
+  check_int "deg into" 1 (Subset.degree_into g 1 0b0001)
+
+(* --- COBRA next distribution --- *)
+
+let dist_total d = List.fold_left (fun acc (_, p) -> acc +. p) 0.0 d
+
+let test_next_dist_k2 () =
+  let g = Gen.complete 2 in
+  match Cobra_chain.next_dist g ~current:0b01 () with
+  | [ (mask, p) ] ->
+      check_int "next = {1}" 0b10 mask;
+      check_float "probability 1" 1.0 p
+  | _ -> Alcotest.fail "expected a single outcome"
+
+let test_next_dist_star_hub () =
+  (* Hub of a star, b = 2: both picks uniform over k leaves; P(single
+     leaf i) = 1/k^2, P(pair {i,j}) = 2/k^2. *)
+  let g = Gen.star 4 in
+  let d = Cobra_chain.next_dist g ~current:0b0001 () in
+  check_float "total mass" 1.0 (dist_total d);
+  List.iter
+    (fun (mask, p) ->
+      match Subset.cardinal mask with
+      | 1 -> check_float "singleton" (1.0 /. 9.0) p
+      | 2 -> check_float "pair" (2.0 /. 9.0) p
+      | _ -> Alcotest.fail "impossible outcome size")
+    d;
+  check_int "3 singletons + 3 pairs" 6 (List.length d)
+
+let test_next_dist_b1 () =
+  (* b = 1 from a singleton: uniform over the neighbours. *)
+  let g = Gen.path 3 in
+  let d = Cobra_chain.next_dist g ~branching:(Process.Fixed 1) ~current:0b010 () in
+  check_int "two outcomes" 2 (List.length d);
+  List.iter (fun (_, p) -> check_float "uniform" 0.5 p) d
+
+let test_next_dist_bernoulli () =
+  (* rho = 0: exactly one pick, same as b = 1. *)
+  let g = Gen.petersen () in
+  let d0 = Cobra_chain.next_dist g ~branching:(Process.Bernoulli 0.0) ~current:0b1 () in
+  let d1 = Cobra_chain.next_dist g ~branching:(Process.Fixed 1) ~current:0b1 () in
+  check_bool "rho=0 equals b=1" true (d0 = d1);
+  (* rho = 1 equals b = 2. *)
+  let d2 = Cobra_chain.next_dist g ~branching:(Process.Bernoulli 1.0) ~current:0b11 () in
+  let d3 = Cobra_chain.next_dist g ~branching:(Process.Fixed 2) ~current:0b11 () in
+  check_int "same support" (List.length d3) (List.length d2);
+  List.iter2
+    (fun (m2, p2) (m3, p3) ->
+      check_int "same masks" m3 m2;
+      check_float "same probs" ~eps:1e-12 p3 p2)
+    d2 d3
+
+let test_next_dist_sums_to_one () =
+  List.iter
+    (fun (g, c) ->
+      let d = Cobra_chain.next_dist g ~current:c () in
+      check_float "mass 1" ~eps:1e-12 1.0 (dist_total d);
+      let dl = Cobra_chain.next_dist g ~lazy_:true ~current:c () in
+      check_float "lazy mass 1" ~eps:1e-12 1.0 (dist_total dl))
+    [
+      (Gen.petersen (), 0b1011);
+      (Gen.cycle 7, 0b101);
+      (Gen.complete 6, 0b111);
+      (Gen.star 7, 0b1000001);
+    ]
+
+let test_next_dist_matches_simulation () =
+  (* Empirical one-step frequencies vs the exact distribution. *)
+  let g = Gen.cycle 5 in
+  let current_mask = 0b00101 in
+  let exact = Cobra_chain.next_dist g ~current:current_mask () in
+  let rng = Rng.create 31 in
+  let current = Cobra_bitset.Bitset.of_list 5 [ 0; 2 ] in
+  let next = Cobra_bitset.Bitset.create 5 in
+  let counts = Hashtbl.create 16 in
+  let trials = 40_000 in
+  for _ = 1 to trials do
+    ignore (Process.cobra_step g rng ~branching:(Process.Fixed 2) ~lazy_:false ~current ~next);
+    let mask = Cobra_bitset.Bitset.fold (fun v acc -> acc lor (1 lsl v)) next 0 in
+    Hashtbl.replace counts mask (1 + Option.value ~default:0 (Hashtbl.find_opt counts mask))
+  done;
+  List.iter
+    (fun (mask, p) ->
+      let freq =
+        float_of_int (Option.value ~default:0 (Hashtbl.find_opt counts mask))
+        /. float_of_int trials
+      in
+      let sigma = sqrt (p *. (1.0 -. p) /. float_of_int trials) in
+      if Float.abs (freq -. p) > (5.0 *. sigma) +. 0.002 then
+        Alcotest.failf "mask %d: freq %.4f vs exact %.4f" mask freq p)
+    exact
+
+(* --- Exact cover times --- *)
+
+let test_expected_cover_closed_forms () =
+  check_float "K1" 0.0 (Cobra_chain.expected_cover (Graph.of_edges ~n:1 []) ~start:0 ());
+  check_float "K2" 1.0 (Cobra_chain.expected_cover (Gen.complete 2) ~start:0 ());
+  (* K3 from one vertex: round 1 covers both others w.p. 1/2; otherwise
+     one is left, caught at rate 3/4 per round: E = 1 + 1/2 * 4/3 = 5/3. *)
+  check_float "K3" ~eps:1e-9 (5.0 /. 3.0) (Cobra_chain.expected_cover (Gen.complete 3) ~start:0 ())
+
+let test_cover_tail_monotone () =
+  let tail = Cobra_chain.cover_tail (Gen.cycle 6) ~start:0 () in
+  check_float "starts at 1" 1.0 tail.(0);
+  for t = 1 to Array.length tail - 1 do
+    if tail.(t) > tail.(t - 1) +. 1e-12 then Alcotest.failf "tail increased at %d" t
+  done;
+  check_bool "ends below eps" true (tail.(Array.length tail - 1) <= 1e-12)
+
+let test_expected_cover_vs_montecarlo () =
+  let g = Gen.cycle 7 in
+  let exact = Cobra_chain.expected_cover g ~start:0 () in
+  let rng = Rng.create 77 in
+  let trials = 4000 in
+  let sum = ref 0.0 in
+  for _ = 1 to trials do
+    match Cobra_core.Cobra.run_cover g rng ~start:0 () with
+    | Some r -> sum := !sum +. float_of_int r
+    | None -> Alcotest.fail "censored"
+  done;
+  let mc = !sum /. float_of_int trials in
+  check_bool
+    (Printf.sprintf "MC %.3f vs exact %.3f" mc exact)
+    true
+    (Float.abs (mc -. exact) < 0.2)
+
+let test_hit_tail_structure () =
+  let g = Gen.path 5 in
+  let tail = Cobra_chain.hit_tail g ~c0:0b10000 ~target:0 ~horizon:15 () in
+  check_float "t=0: not hit" 1.0 tail.(0);
+  (* Distance 4: cannot hit before round 4. *)
+  check_float "t=3: still certain miss" 1.0 tail.(3);
+  check_bool "t=4: can hit" true (tail.(4) < 1.0);
+  for t = 1 to 15 do
+    if tail.(t) > tail.(t - 1) +. 1e-12 then Alcotest.failf "tail increased at %d" t
+  done
+
+let test_hit_tail_target_in_start () =
+  let tail = Cobra_chain.hit_tail (Gen.complete 3) ~c0:0b001 ~target:0 ~horizon:3 () in
+  Array.iter (fun p -> check_float "always hit at t=0" 0.0 p) tail
+
+(* --- BIPS chain --- *)
+
+let test_bips_rows_are_distributions () =
+  let chain = Bips_chain.make (Gen.petersen ()) ~source:0 () in
+  let states = Bips_chain.n_states chain in
+  check_int "2^(n-1) states" 512 states;
+  for a = 0 to states - 1 do
+    let mask = Bips_chain.mask_of_state chain a in
+    check_int "roundtrip" a (Bips_chain.state_of_mask chain mask);
+    check_bool "contains source" true (Subset.mem mask 0)
+  done;
+  (* Spot-check row sums. *)
+  List.iter
+    (fun a ->
+      let sum = ref 0.0 in
+      for a' = 0 to states - 1 do
+        sum :=
+          !sum
+          +. Bips_chain.transition_probability chain (Bips_chain.mask_of_state chain a)
+               (Bips_chain.mask_of_state chain a')
+      done;
+      check_float "row sums to 1" ~eps:1e-9 1.0 !sum)
+    [ 0; 17; 255; 511 ]
+
+let test_bips_k2_transitions () =
+  (* K2: vertex 1 always picks vertex 0 in A -> always infected. *)
+  let chain = Bips_chain.make (Gen.complete 2) ~source:0 () in
+  check_float "always to full" 1.0 (Bips_chain.transition_probability chain 0b01 0b11);
+  check_float "never stays" 0.0 (Bips_chain.transition_probability chain 0b01 0b01)
+
+let test_bips_path3_hand_computed () =
+  (* P3 (0-1-2), source 0, A = {0}: vertex 1 has a = 1/2 so
+     p1 = 1 - (1/2)^2 = 3/4; vertex 2 has a = 0 so p2 = 0. *)
+  let chain = Bips_chain.make (Gen.path 3) ~source:0 () in
+  check_float "to {0,1}" 0.75 (Bips_chain.transition_probability chain 0b001 0b011);
+  check_float "stay {0}" 0.25 (Bips_chain.transition_probability chain 0b001 0b001);
+  check_float "to {0,2} impossible" 0.0 (Bips_chain.transition_probability chain 0b001 0b101)
+
+let test_bips_expected_infection_k2 () =
+  let chain = Bips_chain.make (Gen.complete 2) ~source:0 () in
+  check_float "K2 in one round" 1.0 (Bips_chain.expected_infection_time chain)
+
+let test_bips_expected_vs_montecarlo () =
+  let g = Gen.cycle 6 in
+  let chain = Bips_chain.make g ~source:0 () in
+  let exact = Bips_chain.expected_infection_time chain in
+  let rng = Rng.create 41 in
+  let trials = 4000 in
+  let sum = ref 0.0 in
+  for _ = 1 to trials do
+    match Cobra_core.Bips.run_infection g rng ~source:0 () with
+    | Some r -> sum := !sum +. float_of_int r
+    | None -> Alcotest.fail "censored"
+  done;
+  let mc = !sum /. float_of_int trials in
+  check_bool
+    (Printf.sprintf "MC %.3f vs exact %.3f" mc exact)
+    true
+    (Float.abs (mc -. exact) < 0.25)
+
+let test_bips_distribution_mass () =
+  let chain = Bips_chain.make (Gen.cycle 5) ~source:0 () in
+  List.iter
+    (fun rounds ->
+      let d = Bips_chain.distribution_after chain ~rounds in
+      check_float "mass 1" ~eps:1e-9 1.0 (Array.fold_left ( +. ) 0.0 d))
+    [ 0; 1; 3; 10 ]
+
+let test_bips_avoid_tail_vs_simulation () =
+  let g = Gen.path 4 in
+  let chain = Bips_chain.make g ~source:0 () in
+  let exact = Bips_chain.avoid_tail chain ~c:0b1000 ~horizon:8 in
+  let rng = Rng.create 5 in
+  let trials = 30_000 in
+  List.iter
+    (fun t ->
+      let hits = ref 0 in
+      for _ = 1 to trials do
+        let a = Cobra_core.Bips.infected_after g rng ~rounds:t ~source:0 () in
+        if not (Cobra_bitset.Bitset.mem a 3) then incr hits
+      done;
+      let freq = float_of_int !hits /. float_of_int trials in
+      let p = exact.(t) in
+      let sigma = sqrt (Float.max 1e-9 (p *. (1.0 -. p) /. float_of_int trials)) in
+      if Float.abs (freq -. p) > (5.0 *. sigma) +. 0.002 then
+        Alcotest.failf "t=%d: freq %.4f vs exact %.4f" t freq p)
+    [ 0; 2; 4; 8 ]
+
+(* --- Exact duality (the theorem, to machine precision) --- *)
+
+let exact_duality_cases =
+  [
+    ("path6 b2", Gen.path 6, Process.Fixed 2, false, 0b100000, 0);
+    ("path6 b1", Gen.path 6, Process.Fixed 1, false, 0b100000, 0);
+    ("cycle7 rho.3", Gen.cycle 7, Process.Bernoulli 0.3, false, 0b1000, 0);
+    ("K6 lazy", Gen.complete 6, Process.Fixed 2, true, 0b100100, 0);
+    ("petersen b2", Gen.petersen (), Process.Fixed 2, false, 0b10000000, 1);
+    ("star7 b3", Gen.star 7, Process.Fixed 3, false, 0b1000000, 1);
+    ("grid3x3 lazy rho", Gen.grid ~dims:[ 3; 3 ], Process.Bernoulli 0.7, true, 0b100000000, 0);
+  ]
+
+let test_exact_duality () =
+  List.iter
+    (fun (name, g, branching, lazy_, c0, v) ->
+      let r = Duality_exact.check g ~branching ~lazy_ ~c0 ~v ~horizon:14 () in
+      if r.max_gap > 1e-10 then Alcotest.failf "%s: exact duality gap %.3e" name r.max_gap)
+    exact_duality_cases
+
+let test_exact_duality_report_shape () =
+  let r = Duality_exact.check (Gen.cycle 5) ~c0:0b100 ~v:0 ~horizon:6 () in
+  check_int "horizon recorded" 6 r.horizon;
+  check_int "cobra length" 7 (Array.length r.cobra_tail);
+  check_int "bips length" 7 (Array.length r.bips_tail);
+  check_float "t=0 both 1 (v not in C)" 1.0 r.cobra_tail.(0);
+  check_float "t=0 bips" 1.0 r.bips_tail.(0)
+
+let exact_duality_random_property =
+  QCheck2.Test.make ~name:"exact duality on random trees" ~count:15
+    QCheck2.Gen.(pair (int_range 3 8) (int_bound 1000))
+    (fun (n, seed) ->
+      let g = Gen.random_tree ~n (Rng.create seed) in
+      let c0 = 1 lsl (n - 1) in
+      let r = Duality_exact.check g ~c0 ~v:0 ~horizon:10 () in
+      r.max_gap < 1e-10)
+
+let () =
+  Alcotest.run "exact"
+    [
+      ( "subset",
+        [
+          Alcotest.test_case "basics" `Quick test_subset_basics;
+          Alcotest.test_case "enumeration" `Quick test_subset_enumeration;
+          Alcotest.test_case "neighborhood" `Quick test_subset_neighborhood;
+        ] );
+      ( "cobra chain",
+        [
+          Alcotest.test_case "K2 next" `Quick test_next_dist_k2;
+          Alcotest.test_case "star hub" `Quick test_next_dist_star_hub;
+          Alcotest.test_case "b=1" `Quick test_next_dist_b1;
+          Alcotest.test_case "bernoulli endpoints" `Quick test_next_dist_bernoulli;
+          Alcotest.test_case "mass" `Quick test_next_dist_sums_to_one;
+          Alcotest.test_case "matches simulation" `Slow test_next_dist_matches_simulation;
+          Alcotest.test_case "closed-form covers" `Quick test_expected_cover_closed_forms;
+          Alcotest.test_case "cover tail monotone" `Quick test_cover_tail_monotone;
+          Alcotest.test_case "cover vs MC" `Slow test_expected_cover_vs_montecarlo;
+          Alcotest.test_case "hit tail" `Quick test_hit_tail_structure;
+          Alcotest.test_case "hit tail trivial" `Quick test_hit_tail_target_in_start;
+        ] );
+      ( "bips chain",
+        [
+          Alcotest.test_case "rows are distributions" `Quick test_bips_rows_are_distributions;
+          Alcotest.test_case "K2" `Quick test_bips_k2_transitions;
+          Alcotest.test_case "P3 hand computed" `Quick test_bips_path3_hand_computed;
+          Alcotest.test_case "expected K2" `Quick test_bips_expected_infection_k2;
+          Alcotest.test_case "expected vs MC" `Slow test_bips_expected_vs_montecarlo;
+          Alcotest.test_case "distribution mass" `Quick test_bips_distribution_mass;
+          Alcotest.test_case "avoid tail vs simulation" `Slow test_bips_avoid_tail_vs_simulation;
+        ] );
+      ( "duality (machine precision)",
+        [
+          Alcotest.test_case "named cases" `Quick test_exact_duality;
+          Alcotest.test_case "report shape" `Quick test_exact_duality_report_shape;
+          QCheck_alcotest.to_alcotest exact_duality_random_property;
+        ] );
+    ]

@@ -1,0 +1,111 @@
+(* Tests for the edge-list and DOT serialisation. *)
+
+module Graph = Cobra_graph.Graph
+module Gen = Cobra_graph.Gen
+module Graph_io = Cobra_graph.Graph_io
+module Rng = Cobra_prng.Rng
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let test_to_string_format () =
+  let g = Graph.of_edges ~n:3 [ (0, 1); (1, 2) ] in
+  Alcotest.(check string) "format" "cobra-graph 3\n0 1\n1 2\n" (Graph_io.to_string g)
+
+let test_roundtrip_basic () =
+  let g = Gen.petersen () in
+  let g2 = Graph_io.of_string (Graph_io.to_string g) in
+  check_int "n" (Graph.n g) (Graph.n g2);
+  Alcotest.(check (list (pair int int))) "edges" (Graph.edges g) (Graph.edges g2)
+
+let test_parse_flexible () =
+  let g = Graph_io.of_string "# a comment\n\ncobra-graph 4\n  2   1 \n# another\n3 0\n" in
+  check_int "n" 4 (Graph.n g);
+  Alcotest.(check (list (pair int int))) "edges" [ (0, 3); (1, 2) ] (Graph.edges g)
+
+let test_parse_isolated_vertices () =
+  let g = Graph_io.of_string "cobra-graph 5\n0 1\n" in
+  check_int "n includes isolated" 5 (Graph.n g);
+  check_int "m" 1 (Graph.m g)
+
+let test_parse_errors () =
+  let fails s =
+    match Graph_io.of_string s with
+    | exception Failure _ -> true
+    | _ -> false
+  in
+  check_bool "empty" true (fails "");
+  check_bool "bad header" true (fails "graph 3\n0 1\n");
+  check_bool "bad count" true (fails "cobra-graph x\n");
+  check_bool "bad token" true (fails "cobra-graph 3\n0 a\n");
+  check_bool "triple token" true (fails "cobra-graph 3\n0 1 2\n");
+  check_bool "self loop" true (fails "cobra-graph 3\n1 1\n");
+  check_bool "out of range" true (fails "cobra-graph 3\n0 7\n")
+
+let test_dot () =
+  let g = Graph.of_edges ~n:3 [ (0, 1); (1, 2) ] in
+  let dot = Graph_io.to_dot ~name:"demo" g in
+  check_bool "has header" true (String.length dot > 0);
+  let contains needle =
+    let len = String.length needle in
+    let rec go i =
+      i + len <= String.length dot && (String.sub dot i len = needle || go (i + 1))
+    in
+    go 0
+  in
+  check_bool "graph name" true (contains "graph demo {");
+  check_bool "edge syntax" true (contains "0 -- 1;");
+  check_bool "closing" true (contains "}")
+
+let test_file_roundtrip () =
+  let g = Gen.hypercube 3 in
+  let path = Filename.temp_file "cobra_test" ".graph" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Graph_io.write_file path g;
+      let g2 = Graph_io.read_file path in
+      Alcotest.(check (list (pair int int))) "file roundtrip" (Graph.edges g) (Graph.edges g2))
+
+let test_roundtrip_all_families () =
+  (* Every registry family serialises and parses back identically. *)
+  let rng = Rng.create 77 in
+  List.iter
+    (fun family ->
+      let g = Gen.by_name family ~n:40 rng in
+      let g2 = Graph_io.of_string (Graph_io.to_string g) in
+      if Graph.edges g <> Graph.edges g2 || Graph.n g <> Graph.n g2 then
+        Alcotest.failf "roundtrip failed for %s" family)
+    Gen.family_names
+
+let roundtrip_random_test =
+  QCheck2.Test.make ~name:"string roundtrip on random graphs" ~count:60
+    QCheck2.Gen.(pair (int_range 2 40) (list_size (int_bound 100) (pair (int_bound 39) (int_bound 39))))
+    (fun (n, raw) ->
+      let edges =
+        List.filter_map
+          (fun (u, v) ->
+            let u = u mod n and v = v mod n in
+            if u = v then None else Some (u, v))
+          raw
+      in
+      let g = Graph.of_edges ~n edges in
+      let g2 = Graph_io.of_string (Graph_io.to_string g) in
+      Graph.n g = Graph.n g2 && Graph.edges g = Graph.edges g2)
+
+let () =
+  Alcotest.run "graph_io"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "to_string format" `Quick test_to_string_format;
+          Alcotest.test_case "roundtrip" `Quick test_roundtrip_basic;
+          Alcotest.test_case "flexible parse" `Quick test_parse_flexible;
+          Alcotest.test_case "isolated vertices" `Quick test_parse_isolated_vertices;
+          Alcotest.test_case "parse errors" `Quick test_parse_errors;
+          Alcotest.test_case "dot" `Quick test_dot;
+          Alcotest.test_case "file roundtrip" `Quick test_file_roundtrip;
+          Alcotest.test_case "all families roundtrip" `Quick test_roundtrip_all_families;
+        ] );
+      ("property", [ QCheck_alcotest.to_alcotest roundtrip_random_test ]);
+    ]

@@ -1,0 +1,185 @@
+(* Cross-module integration tests: the same quantity computed through
+   independent subsystems must agree.  These are the repository's
+   belt-and-braces checks — each test crosses at least two of
+   {set engine, exact chains, network protocols, walk theory, spectral}. *)
+
+module Graph = Cobra_graph.Graph
+module Gen = Cobra_graph.Gen
+module Ops = Cobra_graph.Ops
+module Bitset = Cobra_bitset.Bitset
+module Rng = Cobra_prng.Rng
+module Process = Cobra_core.Process
+module Cobra = Cobra_core.Cobra
+module Bips = Cobra_core.Bips
+
+let check_bool = Alcotest.(check bool)
+
+(* 1. Hitting-time tails: set engine (MC) vs exact chain. *)
+let test_hitting_tail_mc_vs_exact () =
+  let g = Gen.cycle 7 in
+  let exact = Cobra_exact.Cobra_chain.hit_tail g ~c0:0b0001000 ~target:0 ~horizon:8 () in
+  let trials = 20_000 in
+  let rng = Rng.create 3 in
+  let survive = Array.make 9 0 in
+  for _ = 1 to trials do
+    let start = Bitset.of_list 7 [ 3 ] in
+    let h =
+      match Cobra.hitting_time g rng ~max_rounds:8 ~start ~target:0 () with
+      | Some h -> h
+      | None -> 9
+    in
+    for t = 0 to 8 do
+      if h > t then survive.(t) <- survive.(t) + 1
+    done
+  done;
+  for t = 0 to 8 do
+    let freq = float_of_int survive.(t) /. float_of_int trials in
+    let p = exact.(t) in
+    let sigma = sqrt (Float.max 1e-9 (p *. (1.0 -. p) /. float_of_int trials)) in
+    if Float.abs (freq -. p) > (5.0 *. sigma) +. 0.003 then
+      Alcotest.failf "t=%d: MC %.4f vs exact %.4f" t freq p
+  done
+
+(* 2. Walk cover of b=1 COBRA vs the dedicated Walk module: the same
+   process through two engines. *)
+let test_b1_cobra_equals_walk_distribution () =
+  let g = Gen.petersen () in
+  let trials = 4000 in
+  let mean_b1 =
+    let total = ref 0 in
+    for seed = 1 to trials do
+      match
+        Cobra.run_cover g (Rng.create seed) ~branching:(Process.Fixed 1) ~start:0 ()
+      with
+      | Some r -> total := !total + r
+      | None -> Alcotest.fail "censored"
+    done;
+    float_of_int !total /. float_of_int trials
+  in
+  let mean_walk =
+    let total = ref 0 in
+    for seed = 1 to trials do
+      match Cobra_core.Walk.cover_time g (Rng.create (seed + 999_999)) ~start:0 () with
+      | Some r -> total := !total + r
+      | None -> Alcotest.fail "censored"
+    done;
+    float_of_int !total /. float_of_int trials
+  in
+  check_bool
+    (Printf.sprintf "b=1 engine %.2f vs walk engine %.2f" mean_b1 mean_walk)
+    true
+    (Float.abs (mean_b1 -. mean_walk) < 1.0)
+
+(* 3. Exact duality with a random multi-vertex C on random connected
+   graphs — the theorem for sets, not just singletons. *)
+let exact_duality_multi_c =
+  QCheck2.Test.make ~name:"exact duality with |C| > 1" ~count:10
+    QCheck2.Gen.(pair (int_range 4 8) (int_bound 1000))
+    (fun (n, seed) ->
+      let rng = Rng.create seed in
+      let g = Gen.connected_gnp ~n ~p:0.5 rng in
+      (* C = two random non-v vertices. *)
+      let a = 1 + Rng.int_below rng (n - 1) in
+      let b = 1 + Rng.int_below rng (n - 1) in
+      let c0 = (1 lsl a) lor (1 lsl b) in
+      let r = Cobra_exact.Duality_exact.check g ~c0 ~v:0 ~horizon:10 () in
+      r.max_gap < 1e-10)
+
+(* 4. Walk theory vs spectral: on a regular graph the relaxation time
+   1/(1-lambda) lower-bounds mixing and the max hitting time is at least
+   n-ish; sanity couplings across the two analysis modules. *)
+let test_theory_consistency_on_expander () =
+  let g = Gen.random_regular ~n:100 ~r:6 (Rng.create 4) in
+  let gap = Cobra_spectral.Eigen.eigenvalue_gap g in
+  let hmax = Cobra_core.Walk_theory.max_hitting_time g in
+  (* H_max >= (n-1) always (a walk must find the target among n-1
+     others); and on an expander H_max = O(n / gap). *)
+  check_bool "hmax >= n-1" true (hmax >= 99.0);
+  check_bool
+    (Printf.sprintf "hmax %.0f <= 4n/gap %.0f" hmax (4.0 *. 100.0 /. gap))
+    true
+    (hmax <= 4.0 *. 100.0 /. gap)
+
+(* 5. Isomorphic copies: exact chains are label-equivariant. *)
+let test_exact_chain_label_equivariance () =
+  let g = Gen.cycle 6 in
+  (* Rotate labels by 2: expected infection from source 0 equals the
+     original's from source 2... by symmetry both equal; use a
+     non-transitive graph for a sharper check. *)
+  let lolli = Gen.lollipop ~clique:3 ~tail:3 in
+  let perm = [| 5; 4; 3; 2; 1; 0 |] in
+  let relabeled = Ops.relabel lolli perm in
+  let e1 =
+    Cobra_exact.Bips_chain.expected_infection_time
+      (Cobra_exact.Bips_chain.make lolli ~source:0 ())
+  in
+  let e2 =
+    Cobra_exact.Bips_chain.expected_infection_time
+      (Cobra_exact.Bips_chain.make relabeled ~source:perm.(0) ())
+  in
+  Alcotest.(check (float 1e-9)) "expected infection invariant" e1 e2;
+  ignore g
+
+(* 6. Censoring discipline: on a disconnected graph every engine reports
+   non-completion instead of a bogus number. *)
+let test_disconnected_everywhere_censors () =
+  let g = Ops.disjoint_union (Gen.complete 4) (Gen.complete 4) in
+  let rng = Rng.create 5 in
+  check_bool "cobra censors" true (Cobra.run_cover g rng ~max_rounds:500 ~start:0 () = None);
+  check_bool "bips censors" true (Bips.run_infection g rng ~max_rounds:500 ~source:0 () = None);
+  check_bool "walk censors" true
+    (Cobra_core.Walk.cover_time g rng ~max_steps:500 ~start:0 () = None);
+  let o = Cobra_net.Gossip.push_cover ~max_rounds:500 g rng ~start:0 in
+  check_bool "gossip censors" true (o.rounds = None)
+
+(* 7. Stochastic monotonicity in b: more branching covers faster. *)
+let test_branching_monotonicity () =
+  let g = Gen.cycle 30 in
+  let mean b =
+    let total = ref 0 in
+    for seed = 1 to 400 do
+      match Cobra.run_cover g (Rng.create seed) ~branching:(Process.Fixed b) ~start:0 () with
+      | Some r -> total := !total + r
+      | None -> Alcotest.fail "censored"
+    done;
+    float_of_int !total /. 400.0
+  in
+  let m1 = mean 1 and m2 = mean 2 and m3 = mean 3 in
+  check_bool (Printf.sprintf "b=1 %.1f > b=2 %.1f > b=3 %.1f" m1 m2 m3) true
+    (m1 > m2 && m2 > m3)
+
+(* 8. The three lambda routes agree: power iteration, dense Jacobi, and
+   the mixing-rate they imply. *)
+let test_lambda_three_ways () =
+  let g = Gen.random_regular ~n:60 ~r:4 (Rng.create 6) in
+  let iter = Cobra_spectral.Eigen.second_eigenvalue g in
+  let dense = Cobra_spectral.Eigen.second_eigenvalue_exact g in
+  check_bool "iter vs dense" true (Float.abs (iter -. dense) < 1e-6);
+  (* TV distance after t lazy steps decays at least like lambda_lazy^t
+     times sqrt n... check the implied upper bound loosely at t = 30. *)
+  let lazy_lambda = Cobra_spectral.Eigen.lazy_second_eigenvalue g in
+  let tv = Cobra_spectral.Mixing.distance_to_stationarity ~lazy_:true g ~start:0 ~rounds:30 in
+  let bound = sqrt 60.0 *. (lazy_lambda ** 30.0) in
+  check_bool (Printf.sprintf "tv %.2e <= spectral bound %.2e" tv bound) true (tv <= bound)
+
+let () =
+  Alcotest.run "integration"
+    [
+      ( "cross-engine agreement",
+        [
+          Alcotest.test_case "hit tail MC vs exact" `Slow test_hitting_tail_mc_vs_exact;
+          Alcotest.test_case "b=1 cobra = walk" `Slow test_b1_cobra_equals_walk_distribution;
+          QCheck_alcotest.to_alcotest exact_duality_multi_c;
+        ] );
+      ( "theory consistency",
+        [
+          Alcotest.test_case "expander couplings" `Quick test_theory_consistency_on_expander;
+          Alcotest.test_case "label equivariance" `Quick test_exact_chain_label_equivariance;
+          Alcotest.test_case "lambda three ways" `Quick test_lambda_three_ways;
+        ] );
+      ( "discipline",
+        [
+          Alcotest.test_case "disconnected censors" `Quick test_disconnected_everywhere_censors;
+          Alcotest.test_case "branching monotone" `Quick test_branching_monotonicity;
+        ] );
+    ]

@@ -1,0 +1,161 @@
+(* Tests for graph transformations, including invariance checks of the
+   simulation pipeline under relabeling. *)
+
+module Graph = Cobra_graph.Graph
+module Gen = Cobra_graph.Gen
+module Ops = Cobra_graph.Ops
+module Props = Cobra_graph.Props
+module Rng = Cobra_prng.Rng
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let test_complement () =
+  let g = Gen.path 4 in
+  let c = Ops.complement g in
+  check_int "m(G) + m(G') = n(n-1)/2" 6 (Graph.m g + Graph.m c);
+  check_bool "edge flips" true (Graph.mem_edge c 0 2 && not (Graph.mem_edge c 0 1));
+  (* Complement of complete is empty. *)
+  check_int "complement of K5" 0 (Graph.m (Ops.complement (Gen.complete 5)));
+  (* Involution. *)
+  Alcotest.(check (list (pair int int))) "double complement" (Graph.edges g)
+    (Graph.edges (Ops.complement c))
+
+let test_induced_subgraph () =
+  let g = Gen.complete 6 in
+  let sub = Ops.induced_subgraph g [| 1; 3; 5 |] in
+  check_int "K3" 3 (Graph.m sub);
+  let path = Gen.path 6 in
+  let sub2 = Ops.induced_subgraph path [| 0; 1; 4 |] in
+  check_int "keeps only (0,1)" 1 (Graph.m sub2);
+  Alcotest.check_raises "duplicate" (Invalid_argument "Ops.induced_subgraph: duplicate vertex")
+    (fun () -> ignore (Ops.induced_subgraph g [| 0; 0 |]))
+
+let test_disjoint_union () =
+  let u = Ops.disjoint_union (Gen.complete 3) (Gen.path 4) in
+  check_int "n" 7 (Graph.n u);
+  check_int "m" 6 (Graph.m u);
+  check_bool "disconnected" false (Props.is_connected u);
+  let labels, k = Props.components u in
+  check_int "two components" 2 k;
+  ignore labels
+
+let test_relabel_roundtrip () =
+  let g = Gen.petersen () in
+  let perm = [| 3; 1; 4; 0; 5; 9; 2; 6; 8; 7 |] in
+  let h = Ops.relabel g perm in
+  check_int "same m" (Graph.m g) (Graph.m h);
+  (* Inverse permutation restores the graph. *)
+  let inv = Array.make 10 0 in
+  Array.iteri (fun i p -> inv.(p) <- i) perm;
+  Alcotest.(check (list (pair int int))) "roundtrip" (Graph.edges g)
+    (Graph.edges (Ops.relabel h inv));
+  Alcotest.check_raises "not a permutation" (Invalid_argument "Ops.relabel: not a permutation")
+    (fun () -> ignore (Ops.relabel g (Array.make 10 0)))
+
+let test_relabel_preserves_invariants () =
+  let g = Gen.lollipop ~clique:5 ~tail:4 in
+  let h = Ops.random_relabel g (Rng.create 4) in
+  check_int "diameter invariant" (Props.diameter g) (Props.diameter h);
+  check_bool "degree multiset invariant" true
+    (Props.degree_histogram g = Props.degree_histogram h);
+  Alcotest.(check (float 1e-6)) "lambda invariant"
+    (Cobra_spectral.Eigen.second_eigenvalue g)
+    (Cobra_spectral.Eigen.second_eigenvalue h)
+
+let test_subdivide () =
+  (* Subdividing each edge of a triangle once gives C6. *)
+  let tri = Gen.complete 3 in
+  let c6ish = Ops.subdivide tri 1 in
+  check_int "n" 6 (Graph.n c6ish);
+  check_int "m" 6 (Graph.m c6ish);
+  check_bool "2-regular" true (Graph.is_regular c6ish && Graph.max_degree c6ish = 2);
+  check_bool "connected" true (Props.is_connected c6ish);
+  check_bool "isomorphic to C6" true (Ops.is_isomorphic_brute c6ish (Gen.cycle 6));
+  (* k = 0 is the identity. *)
+  Alcotest.(check (list (pair int int))) "k=0" (Graph.edges tri) (Graph.edges (Ops.subdivide tri 0))
+
+let test_add_edges () =
+  let g = Ops.add_edges (Gen.path 4) [ (0, 3) ] in
+  check_int "made a cycle" 4 (Graph.m g);
+  check_bool "iso to C4" true (Ops.is_isomorphic_brute g (Gen.cycle 4));
+  (* Duplicates are ignored. *)
+  check_int "duplicate ignored" 4 (Graph.m (Ops.add_edges g [ (0, 1) ]))
+
+let test_isomorphism_oracle () =
+  check_bool "C5 = C5 relabeled" true
+    (Ops.is_isomorphic_brute (Gen.cycle 5) (Ops.relabel (Gen.cycle 5) [| 2; 0; 4; 1; 3 |]));
+  check_bool "C6 != 2 triangles" false
+    (Ops.is_isomorphic_brute (Gen.cycle 6) (Ops.disjoint_union (Gen.complete 3) (Gen.complete 3)));
+  check_bool "P4 != star4" false (Ops.is_isomorphic_brute (Gen.path 4) (Gen.star 4));
+  (* Petersen is vertex-transitive; shifting labels preserves it. *)
+  check_bool "petersen self-iso" true
+    (Ops.is_isomorphic_brute (Gen.petersen ())
+       (Ops.random_relabel (Gen.petersen ()) (Rng.create 7)))
+
+(* The simulation pipeline must be label-invariant in distribution:
+   mean cover times of a graph and a relabeled copy agree. *)
+let test_cover_time_label_invariance () =
+  let g = Gen.random_regular ~n:64 ~r:4 (Rng.create 9) in
+  let h = Ops.random_relabel g (Rng.create 10) in
+  let mean graph seed_base =
+    let total = ref 0 in
+    for seed = 1 to 300 do
+      match Cobra_core.Cobra.run_cover graph (Rng.create (seed + seed_base)) ~start:0 () with
+      | Some r -> total := !total + r
+      | None -> Alcotest.fail "censored"
+    done;
+    float_of_int !total /. 300.0
+  in
+  let mg = mean g 0 and mh = mean h 100_000 in
+  check_bool (Printf.sprintf "means %.2f vs %.2f" mg mh) true (Float.abs (mg -. mh) < 1.0)
+
+let complement_degree_property =
+  QCheck2.Test.make ~name:"complement degrees are n-1-d" ~count:50
+    QCheck2.Gen.(pair (int_range 2 30) (list_size (int_bound 80) (pair (int_bound 29) (int_bound 29))))
+    (fun (n, raw) ->
+      let edges =
+        List.filter_map
+          (fun (u, v) ->
+            let u = u mod n and v = v mod n in
+            if u = v then None else Some (u, v))
+          raw
+      in
+      let g = Graph.of_edges ~n edges in
+      let c = Ops.complement g in
+      let ok = ref true in
+      for u = 0 to n - 1 do
+        if Graph.degree g u + Graph.degree c u <> n - 1 then ok := false
+      done;
+      !ok)
+
+let subdivision_bipartite_property =
+  QCheck2.Test.make ~name:"odd subdivision of any graph is bipartite" ~count:30
+    QCheck2.Gen.(int_range 3 12)
+    (fun n ->
+      (* Subdividing every edge once doubles odd cycles into even ones. *)
+      let g = Gen.complete n in
+      Props.is_bipartite (Ops.subdivide g 1))
+
+let () =
+  Alcotest.run "ops"
+    [
+      ( "transformations",
+        [
+          Alcotest.test_case "complement" `Quick test_complement;
+          Alcotest.test_case "induced subgraph" `Quick test_induced_subgraph;
+          Alcotest.test_case "disjoint union" `Quick test_disjoint_union;
+          Alcotest.test_case "relabel roundtrip" `Quick test_relabel_roundtrip;
+          Alcotest.test_case "relabel invariants" `Quick test_relabel_preserves_invariants;
+          Alcotest.test_case "subdivide" `Quick test_subdivide;
+          Alcotest.test_case "add edges" `Quick test_add_edges;
+          Alcotest.test_case "isomorphism oracle" `Quick test_isomorphism_oracle;
+        ] );
+      ( "pipeline invariance",
+        [ Alcotest.test_case "cover time label-invariant" `Slow test_cover_time_label_invariance ] );
+      ( "property",
+        [
+          QCheck_alcotest.to_alcotest complement_degree_property;
+          QCheck_alcotest.to_alcotest subdivision_bipartite_property;
+        ] );
+    ]

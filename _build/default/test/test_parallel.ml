@@ -1,0 +1,160 @@
+(* Tests for the domain pool and the deterministic Monte-Carlo driver.
+   The headline property: results are a function of the master seed only,
+   never of the schedule or the number of domains. *)
+
+module Pool = Cobra_parallel.Pool
+module Montecarlo = Cobra_parallel.Montecarlo
+module Rng = Cobra_prng.Rng
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let test_parallel_for_covers_all_indices () =
+  Pool.with_pool ~num_domains:3 (fun pool ->
+      let n = 10_000 in
+      let hits = Array.make n 0 in
+      Pool.parallel_for pool ~lo:0 ~hi:n (fun i -> hits.(i) <- hits.(i) + 1);
+      Array.iteri (fun i c -> if c <> 1 then Alcotest.failf "index %d executed %d times" i c) hits)
+
+let test_parallel_for_empty_range () =
+  Pool.with_pool ~num_domains:2 (fun pool ->
+      let ran = ref false in
+      Pool.parallel_for pool ~lo:5 ~hi:5 (fun _ -> ran := true);
+      Pool.parallel_for pool ~lo:7 ~hi:3 (fun _ -> ran := true);
+      check_bool "no iteration on empty range" false !ran)
+
+let test_serial_pool () =
+  Pool.with_pool ~num_domains:0 (fun pool ->
+      check_int "size" 1 (Pool.size pool);
+      let sum = ref 0 in
+      Pool.parallel_for pool ~lo:0 ~hi:100 (fun i -> sum := !sum + i);
+      check_int "sum" 4950 !sum)
+
+let test_pool_reuse () =
+  Pool.with_pool ~num_domains:2 (fun pool ->
+      for round = 1 to 20 do
+        let n = 100 * round in
+        let hits = Array.make n 0 in
+        Pool.parallel_for pool ~lo:0 ~hi:n (fun i -> hits.(i) <- 1);
+        let total = Array.fold_left ( + ) 0 hits in
+        check_int (Printf.sprintf "round %d" round) n total
+      done)
+
+let test_parallel_init () =
+  Pool.with_pool ~num_domains:3 (fun pool ->
+      let a = Pool.parallel_init pool 1000 (fun i -> i * i) in
+      Alcotest.(check (array int)) "matches Array.init" (Array.init 1000 (fun i -> i * i)) a;
+      Alcotest.(check (array int)) "empty" [||] (Pool.parallel_init pool 0 (fun i -> i)))
+
+let test_exception_propagates () =
+  Pool.with_pool ~num_domains:2 (fun pool ->
+      let raised =
+        try
+          Pool.parallel_for pool ~lo:0 ~hi:1000 (fun i -> if i = 500 then failwith "boom");
+          false
+        with Failure msg -> msg = "boom"
+      in
+      check_bool "exception surfaced" true raised;
+      (* The pool must still be usable after a failed loop. *)
+      let hits = Array.make 10 0 in
+      Pool.parallel_for pool ~lo:0 ~hi:10 ~chunk:1 (fun i -> hits.(i) <- i);
+      check_int "pool survives" 45 (Array.fold_left ( + ) 0 hits))
+
+let test_shutdown_idempotent () =
+  let pool = Pool.create ~num_domains:2 () in
+  Pool.shutdown pool;
+  Pool.shutdown pool;
+  let raised =
+    try
+      Pool.parallel_for pool ~lo:0 ~hi:1 (fun _ -> ());
+      false
+    with Invalid_argument _ -> true
+  in
+  check_bool "use after shutdown rejected" true raised
+
+let test_chunk_validation () =
+  Pool.with_pool ~num_domains:1 (fun pool ->
+      Alcotest.check_raises "bad chunk" (Invalid_argument "Pool.parallel_for: chunk must be >= 1")
+        (fun () -> Pool.parallel_for pool ~lo:0 ~hi:10 ~chunk:0 (fun _ -> ())))
+
+let test_create_validation () =
+  Alcotest.check_raises "negative domains"
+    (Invalid_argument "Pool.create: num_domains must be >= 0") (fun () ->
+      ignore (Pool.create ~num_domains:(-1) ()))
+
+(* The determinism contract: parallel = serial, for any domain count. *)
+let test_montecarlo_schedule_independence () =
+  let work ~trial rng =
+    ignore trial;
+    (* Uneven workloads to force domains to interleave differently. *)
+    let spins = 1 + Rng.int_below rng 2000 in
+    let acc = ref 0.0 in
+    for _ = 1 to spins do
+      acc := !acc +. Rng.float01 rng
+    done;
+    !acc
+  in
+  let serial = Montecarlo.run_serial ~master_seed:99 ~trials:200 work in
+  List.iter
+    (fun domains ->
+      Pool.with_pool ~num_domains:domains (fun pool ->
+          let par = Montecarlo.run ~pool ~master_seed:99 ~trials:200 work in
+          Alcotest.(check (array (float 0.0)))
+            (Printf.sprintf "bitwise equal with %d domains" domains)
+            serial par))
+    [ 0; 1; 3; 7 ]
+
+let test_montecarlo_seed_sensitivity () =
+  let work ~trial rng =
+    ignore trial;
+    Rng.float01 rng
+  in
+  let a = Montecarlo.run_serial ~master_seed:1 ~trials:50 work in
+  let b = Montecarlo.run_serial ~master_seed:2 ~trials:50 work in
+  check_bool "different seeds differ" false (a = b)
+
+let test_montecarlo_validation () =
+  Pool.with_pool ~num_domains:1 (fun pool ->
+      Alcotest.check_raises "zero trials" (Invalid_argument "Montecarlo: trials must be >= 1")
+        (fun () ->
+          ignore
+            (Montecarlo.run ~pool ~master_seed:1 ~trials:0 (fun ~trial rng ->
+                 ignore trial;
+                 Rng.float01 rng))))
+
+let test_summarize () =
+  let s = Montecarlo.summarize [| 1.0; 2.0; 3.0 |] in
+  check_int "count" 3 s.count;
+  Alcotest.(check (float 1e-9)) "mean" 2.0 s.mean
+
+let parallel_sum_matches_test =
+  QCheck2.Test.make ~name:"parallel_init = Array.init for arbitrary sizes" ~count:30
+    QCheck2.Gen.(pair (int_range 0 5000) (int_range 0 4))
+    (fun (n, domains) ->
+      Pool.with_pool ~num_domains:domains (fun pool ->
+          Pool.parallel_init pool n (fun i -> (i * 7) mod 13) = Array.init n (fun i -> (i * 7) mod 13)))
+
+let () =
+  Alcotest.run "parallel"
+    [
+      ( "pool",
+        [
+          Alcotest.test_case "covers all indices" `Quick test_parallel_for_covers_all_indices;
+          Alcotest.test_case "empty range" `Quick test_parallel_for_empty_range;
+          Alcotest.test_case "serial pool" `Quick test_serial_pool;
+          Alcotest.test_case "reuse" `Quick test_pool_reuse;
+          Alcotest.test_case "parallel_init" `Quick test_parallel_init;
+          Alcotest.test_case "exception propagation" `Quick test_exception_propagates;
+          Alcotest.test_case "shutdown idempotent" `Quick test_shutdown_idempotent;
+          Alcotest.test_case "chunk validation" `Quick test_chunk_validation;
+          Alcotest.test_case "create validation" `Quick test_create_validation;
+        ] );
+      ( "montecarlo",
+        [
+          Alcotest.test_case "schedule independence" `Quick test_montecarlo_schedule_independence;
+          Alcotest.test_case "seed sensitivity" `Quick test_montecarlo_seed_sensitivity;
+          Alcotest.test_case "validation" `Quick test_montecarlo_validation;
+          Alcotest.test_case "summarize" `Quick test_summarize;
+        ] );
+      ("property", [ QCheck_alcotest.to_alcotest parallel_sum_matches_test ]);
+    ]

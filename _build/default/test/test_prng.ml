@@ -1,0 +1,250 @@
+(* Tests for Splitmix64, Xoshiro and the Rng facade. *)
+
+module Splitmix64 = Cobra_prng.Splitmix64
+module Xoshiro = Cobra_prng.Xoshiro
+module Rng = Cobra_prng.Rng
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* --- SplitMix64 --- *)
+
+let test_splitmix_deterministic () =
+  let a = Splitmix64.create 123L and b = Splitmix64.create 123L in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Splitmix64.next a) (Splitmix64.next b)
+  done
+
+let test_splitmix_seed_sensitivity () =
+  let a = Splitmix64.create 1L and b = Splitmix64.create 2L in
+  check_bool "different seeds diverge" false (Splitmix64.next a = Splitmix64.next b)
+
+let test_splitmix_mix_matches_next () =
+  (* [mix seed] must equal the first output of a generator created with
+     that seed: the stateless and stateful paths agree. *)
+  let seed = 0xDEADBEEFL in
+  let g = Splitmix64.create seed in
+  Alcotest.(check int64) "mix = first next" (Splitmix64.mix seed) (Splitmix64.next g)
+
+let test_seed_of_pair_distinct () =
+  let seen = Hashtbl.create 1024 in
+  let collisions = ref 0 in
+  List.iter
+    (fun master ->
+      for i = 0 to 499 do
+        let s = Splitmix64.seed_of_pair master i in
+        if Hashtbl.mem seen s then incr collisions else Hashtbl.add seen s ()
+      done)
+    [ 0L; 1L; 42L; -7L ];
+  check_int "no collisions over 2000 derived seeds" 0 !collisions
+
+let test_seed_of_pair_deterministic () =
+  Alcotest.(check int64)
+    "stable mapping"
+    (Splitmix64.seed_of_pair 99L 7)
+    (Splitmix64.seed_of_pair 99L 7)
+
+(* --- xoshiro256++ --- *)
+
+let test_xoshiro_deterministic () =
+  let a = Xoshiro.create 5L and b = Xoshiro.create 5L in
+  for _ = 1 to 200 do
+    Alcotest.(check int64) "same stream" (Xoshiro.next64 a) (Xoshiro.next64 b)
+  done
+
+let test_xoshiro_copy_replays () =
+  let a = Xoshiro.create 5L in
+  ignore (Xoshiro.next64 a);
+  let b = Xoshiro.copy a in
+  for _ = 1 to 50 do
+    Alcotest.(check int64) "copy replays" (Xoshiro.next64 a) (Xoshiro.next64 b)
+  done
+
+let test_int_below_range () =
+  let g = Xoshiro.create 11L in
+  for _ = 1 to 10_000 do
+    let v = Xoshiro.int_below g 17 in
+    check_bool "in range" true (v >= 0 && v < 17)
+  done
+
+let test_int_below_hits_all_values () =
+  let g = Xoshiro.create 3L in
+  let seen = Array.make 7 false in
+  for _ = 1 to 1000 do
+    seen.(Xoshiro.int_below g 7) <- true
+  done;
+  Array.iteri (fun i b -> check_bool (Printf.sprintf "value %d reached" i) true b) seen
+
+let test_int_below_uniformity () =
+  (* Chi-square with 6 dof at 60k draws; threshold ~22.5 is the 0.1%
+     tail, so a correct generator fails this with negligible probability
+     (and the seed is fixed anyway). *)
+  let g = Xoshiro.create 1234L in
+  let k = 7 and draws = 70_000 in
+  let counts = Array.make k 0 in
+  for _ = 1 to draws do
+    let v = Xoshiro.int_below g k in
+    counts.(v) <- counts.(v) + 1
+  done;
+  let expected = float_of_int draws /. float_of_int k in
+  let chi2 =
+    Array.fold_left
+      (fun acc c ->
+        let d = float_of_int c -. expected in
+        acc +. (d *. d /. expected))
+      0.0 counts
+  in
+  check_bool (Printf.sprintf "chi-square %.2f < 22.5" chi2) true (chi2 < 22.5)
+
+let test_int_below_one () =
+  let g = Xoshiro.create 9L in
+  for _ = 1 to 10 do
+    check_int "bound 1 gives 0" 0 (Xoshiro.int_below g 1)
+  done
+
+let test_int_below_large_bound () =
+  let g = Xoshiro.create 77L in
+  let bound = 1 lsl 40 in
+  for _ = 1 to 1000 do
+    let v = Xoshiro.int_below g bound in
+    check_bool "in range (large bound)" true (v >= 0 && v < bound)
+  done
+
+let test_int_below_invalid () =
+  let g = Xoshiro.create 1L in
+  Alcotest.check_raises "zero bound" (Invalid_argument "Xoshiro.int_below: bound must be positive")
+    (fun () -> ignore (Xoshiro.int_below g 0))
+
+let test_float01_range () =
+  let g = Xoshiro.create 8L in
+  for _ = 1 to 10_000 do
+    let x = Xoshiro.float01 g in
+    check_bool "in [0,1)" true (x >= 0.0 && x < 1.0)
+  done
+
+let test_float01_mean () =
+  let g = Xoshiro.create 21L in
+  let n = 50_000 in
+  let sum = ref 0.0 in
+  for _ = 1 to n do
+    sum := !sum +. Xoshiro.float01 g
+  done;
+  let mean = !sum /. float_of_int n in
+  check_bool (Printf.sprintf "mean %.4f near 0.5" mean) true (Float.abs (mean -. 0.5) < 0.01)
+
+let test_bernoulli_extremes () =
+  let g = Xoshiro.create 4L in
+  for _ = 1 to 100 do
+    check_bool "p=1 always true" true (Xoshiro.bernoulli g 1.0);
+    check_bool "p=0 always false" false (Xoshiro.bernoulli g 0.0)
+  done
+
+let test_bernoulli_rate () =
+  let g = Xoshiro.create 13L in
+  let n = 50_000 in
+  let hits = ref 0 in
+  for _ = 1 to n do
+    if Xoshiro.bernoulli g 0.3 then incr hits
+  done;
+  let rate = float_of_int !hits /. float_of_int n in
+  check_bool (Printf.sprintf "rate %.4f near 0.3" rate) true (Float.abs (rate -. 0.3) < 0.02)
+
+let test_jump_diverges () =
+  let a = Xoshiro.create 6L in
+  let b = Xoshiro.copy a in
+  Xoshiro.jump b;
+  let equal = ref 0 in
+  for _ = 1 to 100 do
+    if Xoshiro.next64 a = Xoshiro.next64 b then incr equal
+  done;
+  check_int "jumped stream differs" 0 !equal
+
+let test_shuffle_is_permutation () =
+  let g = Xoshiro.create 15L in
+  let a = Array.init 100 (fun i -> i) in
+  Xoshiro.shuffle_in_place g a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "same multiset" (Array.init 100 (fun i -> i)) sorted
+
+let test_shuffle_moves_elements () =
+  let g = Xoshiro.create 16L in
+  let a = Array.init 100 (fun i -> i) in
+  Xoshiro.shuffle_in_place g a;
+  let fixed = ref 0 in
+  Array.iteri (fun i v -> if i = v then incr fixed) a;
+  (* Expected number of fixed points is 1; 30 would be astronomical. *)
+  check_bool "not identity" true (!fixed < 30)
+
+(* --- Rng facade --- *)
+
+let test_rng_for_trial_deterministic () =
+  let a = Rng.for_trial ~master:5 ~trial:3 and b = Rng.for_trial ~master:5 ~trial:3 in
+  for _ = 1 to 50 do
+    check_int "same trial stream" (Rng.int_below a 1000) (Rng.int_below b 1000)
+  done
+
+let test_rng_trials_decorrelated () =
+  let a = Rng.for_trial ~master:5 ~trial:0 and b = Rng.for_trial ~master:5 ~trial:1 in
+  let agree = ref 0 in
+  for _ = 1 to 100 do
+    if Rng.int_below a 1_000_000 = Rng.int_below b 1_000_000 then incr agree
+  done;
+  check_bool "different trials diverge" true (!agree <= 1)
+
+let test_rng_pick () =
+  let g = Rng.create 2 in
+  let arr = [| 10; 20; 30 |] in
+  for _ = 1 to 100 do
+    let v = Rng.pick g arr in
+    check_bool "picked element" true (Array.mem v arr)
+  done;
+  Alcotest.check_raises "empty pick" (Invalid_argument "Rng.pick: empty array") (fun () ->
+      ignore (Rng.pick g [||]))
+
+let test_rng_split_diverges () =
+  let parent = Rng.create 3 in
+  let child = Rng.split parent in
+  let agree = ref 0 in
+  for _ = 1 to 100 do
+    if Rng.int_below parent 1_000_000 = Rng.int_below child 1_000_000 then incr agree
+  done;
+  check_bool "split stream diverges" true (!agree <= 1)
+
+let () =
+  Alcotest.run "prng"
+    [
+      ( "splitmix64",
+        [
+          Alcotest.test_case "deterministic" `Quick test_splitmix_deterministic;
+          Alcotest.test_case "seed sensitivity" `Quick test_splitmix_seed_sensitivity;
+          Alcotest.test_case "mix matches next" `Quick test_splitmix_mix_matches_next;
+          Alcotest.test_case "seed_of_pair distinct" `Quick test_seed_of_pair_distinct;
+          Alcotest.test_case "seed_of_pair deterministic" `Quick test_seed_of_pair_deterministic;
+        ] );
+      ( "xoshiro",
+        [
+          Alcotest.test_case "deterministic" `Quick test_xoshiro_deterministic;
+          Alcotest.test_case "copy replays" `Quick test_xoshiro_copy_replays;
+          Alcotest.test_case "int_below range" `Quick test_int_below_range;
+          Alcotest.test_case "int_below hits all" `Quick test_int_below_hits_all_values;
+          Alcotest.test_case "int_below uniform" `Quick test_int_below_uniformity;
+          Alcotest.test_case "int_below bound 1" `Quick test_int_below_one;
+          Alcotest.test_case "int_below large bound" `Quick test_int_below_large_bound;
+          Alcotest.test_case "int_below invalid" `Quick test_int_below_invalid;
+          Alcotest.test_case "float01 range" `Quick test_float01_range;
+          Alcotest.test_case "float01 mean" `Quick test_float01_mean;
+          Alcotest.test_case "bernoulli extremes" `Quick test_bernoulli_extremes;
+          Alcotest.test_case "bernoulli rate" `Quick test_bernoulli_rate;
+          Alcotest.test_case "jump diverges" `Quick test_jump_diverges;
+          Alcotest.test_case "shuffle permutation" `Quick test_shuffle_is_permutation;
+          Alcotest.test_case "shuffle moves" `Quick test_shuffle_moves_elements;
+        ] );
+      ( "rng",
+        [
+          Alcotest.test_case "for_trial deterministic" `Quick test_rng_for_trial_deterministic;
+          Alcotest.test_case "trials decorrelated" `Quick test_rng_trials_decorrelated;
+          Alcotest.test_case "pick" `Quick test_rng_pick;
+          Alcotest.test_case "split diverges" `Quick test_rng_split_diverges;
+        ] );
+    ]

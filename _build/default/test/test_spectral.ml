@@ -1,0 +1,279 @@
+(* Tests for the spectral machinery: the iterative solver against closed
+   forms and against the dense Jacobi reference, plus conductance. *)
+
+module Graph = Cobra_graph.Graph
+module Gen = Cobra_graph.Gen
+module Bitset = Cobra_bitset.Bitset
+module Matvec = Cobra_spectral.Matvec
+module Eigen = Cobra_spectral.Eigen
+module Conductance = Cobra_spectral.Conductance
+module Rng = Cobra_prng.Rng
+
+let check_float msg ?(eps = 1e-6) expected actual = Alcotest.(check (float eps)) msg expected actual
+let check_bool = Alcotest.(check bool)
+
+(* --- Matvec --- *)
+
+let test_transition_rowsums () =
+  (* P applied to the all-ones vector is the all-ones vector. *)
+  let g = Gen.petersen () in
+  let x = Array.make 10 1.0 and y = Array.make 10 0.0 in
+  Matvec.apply_transition g x y;
+  Array.iter (fun v -> check_float "P 1 = 1" 1.0 v) y
+
+let test_transition_path () =
+  let g = Gen.path 3 in
+  let x = [| 1.0; 0.0; 0.0 |] and y = Array.make 3 0.0 in
+  Matvec.apply_transition g x y;
+  (* (P x)(u) = average of x over N(u). *)
+  check_float "end" 0.0 y.(0);
+  check_float "middle" 0.5 y.(1);
+  check_float "other end" 0.0 y.(2)
+
+let test_normalized_symmetry () =
+  (* <N x, y> = <x, N y> on a non-regular graph. *)
+  let g = Gen.star 6 in
+  let rng = Rng.create 3 in
+  let x = Array.init 6 (fun _ -> Rng.float01 rng) in
+  let y = Array.init 6 (fun _ -> Rng.float01 rng) in
+  let nx = Array.make 6 0.0 and ny = Array.make 6 0.0 in
+  Matvec.apply_normalized g x nx;
+  Matvec.apply_normalized g y ny;
+  check_float "symmetric" ~eps:1e-12 (Matvec.dot nx y) (Matvec.dot x ny)
+
+let test_stationary_eigenvector () =
+  (* N (sqrt deg) = sqrt deg on any graph without isolated vertices. *)
+  let g = Gen.lollipop ~clique:4 ~tail:3 in
+  let pi = Matvec.stationary_direction g in
+  let y = Array.make (Graph.n g) 0.0 in
+  Matvec.apply_normalized g pi y;
+  Array.iteri (fun i v -> check_float (Printf.sprintf "component %d" i) ~eps:1e-12 pi.(i) v) y
+
+let test_vector_helpers () =
+  let x = [| 3.0; 4.0 |] in
+  check_float "norm2" 5.0 (Matvec.norm2 x);
+  let y = [| 1.0; 1.0 |] in
+  Matvec.axpy ~alpha:2.0 x y;
+  check_float "axpy 0" 7.0 y.(0);
+  check_float "axpy 1" 9.0 y.(1);
+  Matvec.scale_to_unit x;
+  check_float "unit norm" 1.0 (Matvec.norm2 x)
+
+(* --- Eigenvalues: closed forms --- *)
+
+let test_lambda_complete () =
+  (* K_n: eigenvalues of P are 1 and -1/(n-1), so lambda = 1/(n-1). *)
+  List.iter
+    (fun n ->
+      let g = Gen.complete n in
+      check_float (Printf.sprintf "K%d" n) ~eps:1e-6
+        (1.0 /. float_of_int (n - 1))
+        (Eigen.second_eigenvalue g))
+    [ 4; 7; 12 ]
+
+let test_lambda_odd_cycle () =
+  (* C_n (odd): eigenvalues cos(2 pi k / n); the largest magnitude below 1
+     is |cos(pi (n-1)/n)| = cos(pi/n). *)
+  let n = 9 in
+  let g = Gen.cycle n in
+  check_float "C9" ~eps:1e-6 (cos (Float.pi /. float_of_int n)) (Eigen.second_eigenvalue g)
+
+let test_lambda_petersen () =
+  (* Petersen adjacency spectrum: 3, 1 (x5), -2 (x4); P = A/3. *)
+  check_float "petersen" ~eps:1e-6 (2.0 /. 3.0) (Eigen.second_eigenvalue (Gen.petersen ()))
+
+let test_lambda_bipartite_is_one () =
+  check_float "even cycle" ~eps:1e-4 1.0 (Eigen.second_eigenvalue (Gen.cycle 8));
+  check_float "hypercube" ~eps:1e-4 1.0 (Eigen.second_eigenvalue (Gen.hypercube 3))
+
+let test_lazy_gap_hypercube () =
+  (* Lazy walk on the d-cube: lambda_2(P) = 1 - 2/d, so the lazy lambda is
+     1 - 1/d and the lazy gap is 1/d. *)
+  List.iter
+    (fun d ->
+      let g = Gen.hypercube d in
+      check_float (Printf.sprintf "lazy gap d=%d" d) ~eps:1e-6
+        (1.0 /. float_of_int d)
+        (Eigen.lazy_eigenvalue_gap g))
+    [ 3; 5; 7 ]
+
+let test_second_eigenvector_residual () =
+  let g = Gen.petersen () in
+  let lambda2, v = Eigen.second_eigenvector g in
+  check_float "lambda2 = 1/3" ~eps:1e-6 (1.0 /. 3.0) lambda2;
+  (* Residual ||P v - lambda2 v|| should be tiny. *)
+  let y = Array.make 10 0.0 in
+  Matvec.apply_transition g v y;
+  let res = ref 0.0 in
+  Array.iteri (fun i x -> res := !res +. ((x -. (lambda2 *. v.(i))) ** 2.0)) y;
+  check_bool "residual small" true (sqrt !res < 1e-5)
+
+let test_dense_spectrum_known () =
+  let eigs = Eigen.dense_spectrum (Gen.complete 5) in
+  check_float "top" ~eps:1e-9 1.0 eigs.(0);
+  for i = 1 to 4 do
+    check_float "bulk" ~eps:1e-9 (-0.25) eigs.(i)
+  done;
+  let cube = Eigen.dense_spectrum (Gen.hypercube 3) in
+  (* d = 3: eigenvalues (3 - 2k)/3 for k = 0..3 with binomial multiplicity. *)
+  check_float "cube top" ~eps:1e-9 1.0 cube.(0);
+  check_float "cube 2nd" ~eps:1e-9 (1.0 /. 3.0) cube.(1);
+  check_float "cube last" ~eps:1e-9 (-1.0) cube.(7)
+
+let test_singleton () =
+  check_float "single vertex" 0.0 (Eigen.second_eigenvalue (Graph.of_edges ~n:1 []))
+
+let power_vs_dense_test =
+  QCheck2.Test.make ~name:"power iteration matches dense solver" ~count:25
+    QCheck2.Gen.(int_range 4 30)
+    (fun n ->
+      let rng = Rng.create (n * 7) in
+      let p = Float.min 1.0 (3.0 *. log (float_of_int n) /. float_of_int n) in
+      let g = Gen.connected_gnp ~n ~p rng in
+      let iter = Eigen.second_eigenvalue g in
+      let exact = Eigen.second_eigenvalue_exact g in
+      Float.abs (iter -. exact) < 1e-5)
+
+(* --- Conductance --- *)
+
+let test_of_set () =
+  let g = Gen.cycle 8 in
+  let s = Bitset.of_list 8 [ 0; 1; 2; 3 ] in
+  (* cut = 2, vol = 8, total = 16 -> phi(S) = 2/8. *)
+  check_float "cycle half" 0.25 (Conductance.of_set g s);
+  Alcotest.check_raises "empty set"
+    (Invalid_argument "Conductance.of_set: set must be proper and non-empty") (fun () ->
+      ignore (Conductance.of_set g (Bitset.create 8)))
+
+let test_exact_known () =
+  (* P4: the best cut is an end pair {0,1}: cut 1, vol 3 -> 1/3. *)
+  check_float "path4" ~eps:1e-9 (1.0 /. 3.0) (Conductance.exact (Gen.path 4));
+  (* C6: halves give cut 2, vol 6 -> 1/3. *)
+  check_float "cycle6" ~eps:1e-9 (1.0 /. 3.0) (Conductance.exact (Gen.cycle 6));
+  (* K4: any balanced cut gives 4/6 = 2/3. *)
+  check_float "K4" ~eps:1e-9 (2.0 /. 3.0) (Conductance.exact (Gen.complete 4));
+  (* Star: every cut separates leaves from the hub at full conductance. *)
+  check_float "star" ~eps:1e-9 1.0 (Conductance.exact (Gen.star 6));
+  (* Barbell with a single connecting edge: S = one clique, cut 1,
+     vol = 3*2+1 = 7 -> 1/7. *)
+  check_float "barbell" ~eps:1e-9 (1.0 /. 7.0)
+    (Conductance.exact (Gen.barbell ~clique:3 ~bridge:0))
+
+let sweep_upper_bounds_exact_test =
+  QCheck2.Test.make ~name:"sweep cut upper-bounds exact conductance" ~count:20
+    QCheck2.Gen.(int_range 4 14)
+    (fun n ->
+      let rng = Rng.create (n * 13) in
+      let p = Float.min 1.0 (3.5 *. log (float_of_int n) /. float_of_int n) in
+      let g = Gen.connected_gnp ~n ~p rng in
+      Conductance.sweep_upper_bound g >= Conductance.exact g -. 1e-9)
+
+let cheeger_test =
+  QCheck2.Test.make ~name:"Cheeger: phi^2/2 <= 1 - lambda2 <= 2 phi" ~count:20
+    QCheck2.Gen.(int_range 4 14)
+    (fun n ->
+      let rng = Rng.create (n * 17) in
+      let p = Float.min 1.0 (3.5 *. log (float_of_int n) /. float_of_int n) in
+      let g = Gen.connected_gnp ~n ~p rng in
+      let phi = Conductance.exact g in
+      let eigs = Eigen.dense_spectrum g in
+      let gap2 = 1.0 -. eigs.(1) in
+      (* The classical inequalities relate the gap of lambda_2 (not the
+         absolute lambda) to conductance. *)
+      (phi *. phi /. 2.0) -. 1e-9 <= gap2 && gap2 <= (2.0 *. phi) +. 1e-9)
+
+(* --- Mixing --- *)
+
+module Mixing = Cobra_spectral.Mixing
+
+let test_tv_basics () =
+  check_float "identical" 0.0 (Mixing.total_variation [| 0.5; 0.5 |] [| 0.5; 0.5 |]);
+  check_float "disjoint" 1.0 (Mixing.total_variation [| 1.0; 0.0 |] [| 0.0; 1.0 |]);
+  check_float "half" 0.5 (Mixing.total_variation [| 1.0; 0.0 |] [| 0.5; 0.5 |])
+
+let test_stationary () =
+  let pi = Mixing.stationary (Gen.star 5) in
+  check_float "hub mass" 0.5 pi.(0);
+  check_float "leaf mass" 0.125 pi.(1);
+  let pr = Mixing.stationary (Gen.petersen ()) in
+  Array.iter (fun x -> check_float "uniform on regular" 0.1 x) pr
+
+let test_walk_distribution_mass () =
+  let g = Gen.lollipop ~clique:4 ~tail:3 in
+  List.iter
+    (fun rounds ->
+      let d = Mixing.walk_distribution g ~start:0 ~rounds in
+      check_float "mass 1" ~eps:1e-12 1.0 (Array.fold_left ( +. ) 0.0 d))
+    [ 0; 1; 5; 20 ]
+
+let test_mixing_complete () =
+  (* K_n is within 1/(n-1) of uniform after one step. *)
+  Alcotest.(check (option int)) "one step" (Some 1) (Mixing.mixing_time (Gen.complete 16))
+
+let test_mixing_bipartite_never () =
+  (* Non-lazy on an even cycle oscillates between parity classes. *)
+  Alcotest.(check (option int)) "no mixing" None
+    (Mixing.mixing_time ~max_rounds:500 (Gen.cycle 8));
+  (* The lazy chain mixes fine. *)
+  check_bool "lazy mixes" true (Mixing.mixing_time ~lazy_:true (Gen.cycle 8) <> None)
+
+let test_mixing_spectral_relation () =
+  (* t_mix(lazy) <= ln(n/eps) / gap_lazy, up to a small constant. *)
+  let g = Gen.random_regular ~n:64 ~r:6 (Rng.create 8) in
+  match Mixing.mixing_time ~lazy_:true g with
+  | None -> Alcotest.fail "expander failed to mix"
+  | Some t ->
+      let gap = Eigen.lazy_eigenvalue_gap g in
+      let bound = log (64.0 /. 0.25) /. gap in
+      check_bool (Printf.sprintf "t_mix %d <= 2 * spectral bound %.1f" t bound) true
+        (float_of_int t <= 2.0 *. bound)
+
+let test_mixing_monotone_in_rounds () =
+  let g = Gen.petersen () in
+  let d1 = Mixing.distance_to_stationarity ~lazy_:true g ~start:0 ~rounds:1 in
+  let d5 = Mixing.distance_to_stationarity ~lazy_:true g ~start:0 ~rounds:5 in
+  let d20 = Mixing.distance_to_stationarity ~lazy_:true g ~start:0 ~rounds:20 in
+  check_bool "decreasing" true (d1 >= d5 && d5 >= d20);
+  check_bool "converged" true (d20 < 0.01)
+
+let () =
+  Alcotest.run "spectral"
+    [
+      ( "matvec",
+        [
+          Alcotest.test_case "row sums" `Quick test_transition_rowsums;
+          Alcotest.test_case "path action" `Quick test_transition_path;
+          Alcotest.test_case "normalized symmetric" `Quick test_normalized_symmetry;
+          Alcotest.test_case "stationary eigenvector" `Quick test_stationary_eigenvector;
+          Alcotest.test_case "vector helpers" `Quick test_vector_helpers;
+        ] );
+      ( "eigen",
+        [
+          Alcotest.test_case "complete graphs" `Quick test_lambda_complete;
+          Alcotest.test_case "odd cycle" `Quick test_lambda_odd_cycle;
+          Alcotest.test_case "petersen" `Quick test_lambda_petersen;
+          Alcotest.test_case "bipartite lambda = 1" `Quick test_lambda_bipartite_is_one;
+          Alcotest.test_case "lazy gap hypercube" `Quick test_lazy_gap_hypercube;
+          Alcotest.test_case "second eigenvector" `Quick test_second_eigenvector_residual;
+          Alcotest.test_case "dense spectrum" `Quick test_dense_spectrum_known;
+          Alcotest.test_case "singleton" `Quick test_singleton;
+          QCheck_alcotest.to_alcotest power_vs_dense_test;
+        ] );
+      ( "conductance",
+        [
+          Alcotest.test_case "of_set" `Quick test_of_set;
+          Alcotest.test_case "exact known" `Quick test_exact_known;
+          QCheck_alcotest.to_alcotest sweep_upper_bounds_exact_test;
+          QCheck_alcotest.to_alcotest cheeger_test;
+        ] );
+      ( "mixing",
+        [
+          Alcotest.test_case "tv basics" `Quick test_tv_basics;
+          Alcotest.test_case "stationary" `Quick test_stationary;
+          Alcotest.test_case "mass conserved" `Quick test_walk_distribution_mass;
+          Alcotest.test_case "complete one step" `Quick test_mixing_complete;
+          Alcotest.test_case "bipartite never (plain)" `Quick test_mixing_bipartite_never;
+          Alcotest.test_case "spectral relation" `Quick test_mixing_spectral_relation;
+          Alcotest.test_case "monotone decay" `Quick test_mixing_monotone_in_rounds;
+        ] );
+    ]
