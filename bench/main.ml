@@ -152,6 +152,34 @@ let ablation_kernels =
           fun () -> ignore (cobra_step_list_based regular8_256 rng current)));
   ]
 
+(* Bench history sink: name -> ns/run, machine-readable, so successive
+   runs of `dune exec bench/main.exe` leave a comparable trajectory. *)
+let bench_json = "BENCH_cobra.json"
+
+let write_bench_json rows =
+  let entries =
+    List.filter_map
+      (fun (name, t) -> if Float.is_nan t then None else Some (name, Cobra_obs.Json.Float t))
+      rows
+  in
+  let doc =
+    Cobra_obs.Json.Obj
+      [
+        ("schema", Cobra_obs.Json.String "cobra-bench/1");
+        ("created_at", Cobra_obs.Json.String (Cobra_obs.Timer.iso8601 (Cobra_obs.Timer.stamp ())));
+        ("git_revision", Cobra_obs.Json.String (Cobra_obs.Manifest.git_revision ()));
+        ("unit", Cobra_obs.Json.String "ns/run");
+        ("benchmarks", Cobra_obs.Json.Obj entries);
+      ]
+  in
+  let oc = open_out bench_json in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc (Cobra_obs.Json.to_string_pretty doc);
+      output_char oc '\n');
+  Printf.printf "\n[wrote %d benchmark estimates to %s]\n" (List.length entries) bench_json
+
 let run_benchmarks () =
   let ols = Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |] in
   let instances = Instance.[ monotonic_clock ] in
@@ -162,9 +190,16 @@ let run_benchmarks () =
   Printf.printf "%-50s %15s\n" "benchmark" "time/run";
   Printf.printf "%s\n" (String.make 66 '-');
   let rows = Hashtbl.fold (fun name ols acc -> (name, ols) :: acc) results [] in
+  let rows =
+    List.sort compare
+      (List.map
+         (fun (name, ols) ->
+           let t = match Analyze.OLS.estimates ols with Some [ t ] -> t | _ -> nan in
+           (name, t))
+         rows)
+  in
   List.iter
-    (fun (name, ols) ->
-      let t = match Analyze.OLS.estimates ols with Some [ t ] -> t | _ -> nan in
+    (fun (name, t) ->
       let pretty =
         if Float.is_nan t then "-"
         else if t > 1e9 then Printf.sprintf "%8.2f  s" (t /. 1e9)
@@ -173,23 +208,34 @@ let run_benchmarks () =
         else Printf.sprintf "%8.0f ns" t
       in
       Printf.printf "%-50s %15s\n" name pretty)
-    (List.sort compare rows)
+    rows;
+  write_bench_json rows
 
-let run_tables () =
+let run_tables pool =
   print_newline ();
   print_endline (String.make 78 '#');
   print_endline
     "# Experiment tables (Quick scale; EXPERIMENTS.md uses --full via bin/experiments)";
   print_endline (String.make 78 '#');
-  Cobra_parallel.Pool.with_pool (fun pool ->
-      List.iter
-        (fun (e : Cobra_experiments.Experiment.t) ->
-          print_newline ();
-          print_string (Cobra_experiments.Experiment.header e);
-          print_string (e.run ~pool ~master_seed:2017 ~scale:Cobra_experiments.Experiment.Quick);
-          flush stdout)
-        Cobra_experiments.Registry.all)
+  let total = Cobra_obs.Timer.start () in
+  List.iter
+    (fun (e : Cobra_experiments.Experiment.t) ->
+      print_newline ();
+      print_string (Cobra_experiments.Experiment.header e);
+      let timer = Cobra_obs.Timer.start () in
+      print_string
+        (e.run ~obs:Cobra_obs.Obs.null ~pool ~master_seed:2017
+           ~scale:Cobra_experiments.Experiment.Quick);
+      Printf.printf "[%s wall time: %.2fs]\n" e.id (Cobra_obs.Timer.elapsed_s timer);
+      flush stdout)
+    Cobra_experiments.Registry.all;
+  Printf.printf "\n[all tables regenerated in %.1fs on a %d-worker pool]\n"
+    (Cobra_obs.Timer.elapsed_s total)
+    (Cobra_parallel.Pool.size pool)
 
+(* One pool for the whole binary: spawning domains per phase would both
+   slow the run down and leak workers into the bechamel timings. *)
 let () =
-  run_benchmarks ();
-  run_tables ()
+  Cobra_parallel.Pool.with_pool (fun pool ->
+      run_benchmarks ();
+      run_tables pool)

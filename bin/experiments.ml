@@ -3,10 +3,11 @@
    Usage:
      cobra-experiments list
      cobra-experiments run e4 [--full] [--seed N] [--domains K]
-     cobra-experiments run all --full *)
+     cobra-experiments run all --full [--obs-out DIR] *)
 
 module Experiment = Cobra_experiments.Experiment
 module Registry = Cobra_experiments.Registry
+module Obs = Cobra_obs.Obs
 
 open Cmdliner
 
@@ -28,6 +29,14 @@ let out_arg =
   in
   Arg.(value & opt (some string) None & info [ "out" ] ~docv:"DIR" ~doc)
 
+let obs_out_arg =
+  let doc =
+    "Write observability artefacts to $(docv)/<id>/: manifest.json (seed, scale, domain \
+     count, OCaml version, git revision, hostname), metrics.json (trial latency \
+     histograms, throughput, wall time) and events.jsonl (one trace event per line)."
+  in
+  Arg.(value & opt (some string) None & info [ "obs-out" ] ~docv:"DIR" ~doc)
+
 let list_cmd =
   let run () =
     List.iter
@@ -36,20 +45,44 @@ let list_cmd =
   in
   Cmd.v (Cmd.info "list" ~doc:"List the available experiments") Term.(const run $ const ())
 
-let run_experiments ids seed domains full out =
-  let scale = if full then Experiment.Full else Experiment.Quick in
-  (match out with
-  | Some dir when not (Sys.file_exists dir) -> Sys.mkdir dir 0o755
-  | _ -> ());
-  let selected =
-    if ids = [ "all" ] then Ok Registry.all
-    else
-      let missing = List.filter (fun id -> Registry.find id = None) ids in
-      if missing <> [] then
-        Error (Printf.sprintf "unknown experiment id(s): %s (try 'list')" (String.concat ", " missing))
-      else Ok (List.filter_map Registry.find ids)
+let mkdir_p dir =
+  let rec ensure dir =
+    if dir <> "" && dir <> "." && dir <> "/" && not (Sys.file_exists dir) then begin
+      ensure (Filename.dirname dir);
+      Sys.mkdir dir 0o755
+    end
   in
-  match selected with
+  ensure dir
+
+let write_file path content =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc content)
+
+(* One observability context per experiment; [finish] persists the
+   manifest and the metrics snapshot next to the event stream. *)
+let obs_for obs_out (e : Experiment.t) ~seed ~scale ~domains =
+  match obs_out with
+  | None -> (Obs.null, fun () -> ())
+  | Some dir ->
+      let edir = Filename.concat dir e.id in
+      mkdir_p edir;
+      let obs = Obs.create ~sink:(Cobra_obs.Trace.jsonl (Filename.concat edir "events.jsonl")) () in
+      let finish () =
+        let manifest = Experiment.manifest e ~master_seed:seed ~scale ~domains in
+        write_file (Filename.concat edir "manifest.json")
+          (Cobra_obs.Json.to_string_pretty (Cobra_obs.Manifest.to_json manifest) ^ "\n");
+        write_file (Filename.concat edir "metrics.json")
+          (Cobra_obs.Json.to_string_pretty
+             (Cobra_obs.Report.to_json (Cobra_obs.Metrics.snapshot (Obs.metrics obs)))
+          ^ "\n");
+        Obs.close obs
+      in
+      (obs, finish)
+
+let run_experiments ids seed domains full out obs_out =
+  let scale = if full then Experiment.Full else Experiment.Quick in
+  Option.iter mkdir_p out;
+  match Registry.select ids with
   | Error msg ->
       prerr_endline msg;
       exit 1
@@ -58,28 +91,29 @@ let run_experiments ids seed domains full out =
           List.iter
             (fun (e : Experiment.t) ->
               print_string (Experiment.header e);
-              let started = Unix.gettimeofday () in
-              let output = e.run ~pool ~master_seed:seed ~scale in
+              let obs, finish =
+                obs_for obs_out e ~seed ~scale ~domains:(Cobra_parallel.Pool.size pool)
+              in
+              let timer = Cobra_obs.Timer.start () in
+              let output = Experiment.run_observed ~obs e ~pool ~master_seed:seed ~scale in
               print_string output;
+              finish ();
               (match out with
               | Some dir ->
-                  let oc = open_out (Filename.concat dir (e.id ^ ".txt")) in
-                  Fun.protect
-                    ~finally:(fun () -> close_out oc)
-                    (fun () ->
-                      output_string oc (Experiment.header e);
-                      output_string oc output)
+                  write_file (Filename.concat dir (e.id ^ ".txt")) (Experiment.header e ^ output)
               | None -> ());
-              Printf.printf "[%s finished in %.1fs]\n\n%!" e.id (Unix.gettimeofday () -. started))
+              Printf.printf "[%s finished in %.1fs]\n\n%!" e.id (Cobra_obs.Timer.elapsed_s timer))
             experiments)
 
 let run_cmd =
   let ids_arg =
-    let doc = "Experiment ids to run (e1 .. e12), or 'all'." in
+    let doc = "Experiment ids to run (e1 .. e16), or 'all'." in
     Arg.(non_empty & pos_all string [] & info [] ~docv:"ID" ~doc)
   in
   let term =
-    Term.(const run_experiments $ ids_arg $ seed_arg $ domains_arg $ full_arg $ out_arg)
+    Term.(
+      const run_experiments $ ids_arg $ seed_arg $ domains_arg $ full_arg $ out_arg
+      $ obs_out_arg)
   in
   Cmd.v (Cmd.info "run" ~doc:"Run experiments and print their tables") term
 

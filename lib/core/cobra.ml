@@ -19,7 +19,7 @@ let check_start g start =
   if Graph.n g = 0 then invalid_arg "Cobra: empty graph";
   if start < 0 || start >= Graph.n g then invalid_arg "Cobra: start vertex out of range"
 
-let run_loop g rng ~branching ~lazy_ ~max_rounds ~record ~start =
+let run_loop g rng ~obs ~branching ~lazy_ ~max_rounds ~record ~start =
   let n = Graph.n g in
   let current = Bitset.create n in
   let next = Bitset.create n in
@@ -30,19 +30,31 @@ let run_loop g rng ~branching ~lazy_ ~max_rounds ~record ~start =
   let visited_sizes = ref [ 1 ] and active_sizes = ref [ 1 ] in
   let rounds = ref 0 in
   let result = ref None in
+  let observing = Cobra_obs.Obs.enabled obs in
   (try
      if Bitset.cardinal visited = n then result := Some !rounds
      else
        while !rounds < max_rounds do
          incr rounds;
-         transmissions :=
-           !transmissions + Process.cobra_step g rng ~branching ~lazy_ ~current ~next;
+         if observing then
+           Cobra_obs.Obs.emit obs (Cobra_obs.Trace.Round_started { round = !rounds });
+         let sent = Process.cobra_step g rng ~branching ~lazy_ ~current ~next in
+         transmissions := !transmissions + sent;
          Bitset.blit ~src:next ~dst:current;
          Bitset.union_into ~into:visited current;
          if record then begin
            visited_sizes := Bitset.cardinal visited :: !visited_sizes;
            active_sizes := Bitset.cardinal current :: !active_sizes
          end;
+         if observing then
+           Cobra_obs.Obs.emit obs
+             (Cobra_obs.Trace.Round_ended
+                {
+                  round = !rounds;
+                  informed = Bitset.cardinal visited;
+                  active = Bitset.cardinal current;
+                  messages = sent;
+                });
          if Bitset.cardinal visited = n then begin
            result := Some !rounds;
            raise Exit
@@ -60,18 +72,21 @@ let run_loop g rng ~branching ~lazy_ ~max_rounds ~record ~start =
           active_sizes = Array.of_list (List.rev !active_sizes);
         }
 
-let run_cover_detailed g rng ?(branching = Process.Fixed 2) ?(lazy_ = false) ?max_rounds ~start ()
-    =
+let run_cover_detailed g rng ?(obs = Cobra_obs.Obs.null) ?(branching = Process.Fixed 2)
+    ?(lazy_ = false) ?max_rounds ~start () =
   check_start g start;
   Process.validate_branching branching;
   let max_rounds = Option.value max_rounds ~default:(default_max_rounds g) in
-  run_loop g rng ~branching ~lazy_ ~max_rounds ~record:true ~start
+  run_loop g rng ~obs ~branching ~lazy_ ~max_rounds ~record:true ~start
 
-let run_cover g rng ?(branching = Process.Fixed 2) ?(lazy_ = false) ?max_rounds ~start () =
+let run_cover g rng ?(obs = Cobra_obs.Obs.null) ?(branching = Process.Fixed 2) ?(lazy_ = false)
+    ?max_rounds ~start () =
   check_start g start;
   Process.validate_branching branching;
   let max_rounds = Option.value max_rounds ~default:(default_max_rounds g) in
-  Option.map (fun r -> r.rounds) (run_loop g rng ~branching ~lazy_ ~max_rounds ~record:false ~start)
+  Option.map
+    (fun r -> r.rounds)
+    (run_loop g rng ~obs ~branching ~lazy_ ~max_rounds ~record:false ~start)
 
 let hitting_time g rng ?(branching = Process.Fixed 2) ?(lazy_ = false) ?max_rounds ~start ~target
     () =

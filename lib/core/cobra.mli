@@ -19,19 +19,27 @@ type run = {
 }
 
 val run_cover :
-  Cobra_graph.Graph.t -> Cobra_prng.Rng.t -> ?branching:Process.branching -> ?lazy_:bool ->
-  ?max_rounds:int -> start:int -> unit -> int option
+  Cobra_graph.Graph.t -> Cobra_prng.Rng.t -> ?obs:Cobra_obs.Obs.t ->
+  ?branching:Process.branching -> ?lazy_:bool -> ?max_rounds:int -> start:int -> unit ->
+  int option
 (** [run_cover g rng ~start ()] simulates until coverage and returns the
     number of rounds, or [None] if [max_rounds] (default
     [10^7 / sqrt n], at least [10^5]) elapses first.  Defaults:
     [branching = Fixed 2], [lazy_ = false].
 
+    An enabled [obs] (default {!Cobra_obs.Obs.null}) receives a
+    [Round_started]/[Round_ended] event pair per round, the latter
+    carrying the latched informed count, the active-set size and the
+    round's transmissions.  Observability never reads the RNG, so the
+    run is bit-identical with it on or off.
+
     @raise Invalid_argument if [start] is out of range or the graph is
     empty. *)
 
 val run_cover_detailed :
-  Cobra_graph.Graph.t -> Cobra_prng.Rng.t -> ?branching:Process.branching -> ?lazy_:bool ->
-  ?max_rounds:int -> start:int -> unit -> run option
+  Cobra_graph.Graph.t -> Cobra_prng.Rng.t -> ?obs:Cobra_obs.Obs.t ->
+  ?branching:Process.branching -> ?lazy_:bool -> ?max_rounds:int -> start:int -> unit ->
+  run option
 (** As {!run_cover} but records the trajectory. *)
 
 val hitting_time :

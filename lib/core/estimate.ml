@@ -27,9 +27,9 @@ let start_heuristic g =
 
 (* Gather per-trial (value, transmissions) observations, where a negative
    value marks a censored trial. *)
-let collect ~pool ~master_seed ~trials run_one =
+let collect ?obs ~pool ~master_seed ~trials run_one =
   if trials < 1 then invalid_arg "Estimate: trials must be >= 1";
-  let obs = Cobra_parallel.Montecarlo.run ~pool ~master_seed ~trials run_one in
+  let obs = Cobra_parallel.Montecarlo.run ?obs ~pool ~master_seed ~trials run_one in
   let completed = Array.of_list (List.filter (fun (v, _) -> v >= 0.0) (Array.to_list obs)) in
   let censored = trials - Array.length completed in
   if Array.length completed = 0 then
@@ -53,18 +53,18 @@ let collect ~pool ~master_seed ~trials run_one =
     }
   end
 
-let cover_time ~pool ~master_seed ~trials ?branching ?lazy_ ?max_rounds ?start g =
+let cover_time ?obs ~pool ~master_seed ~trials ?branching ?lazy_ ?max_rounds ?start g =
   let start = match start with Some s -> s | None -> start_heuristic g in
-  collect ~pool ~master_seed ~trials (fun ~trial rng ->
+  collect ?obs ~pool ~master_seed ~trials (fun ~trial rng ->
       ignore trial;
       match Cobra.run_cover_detailed g rng ?branching ?lazy_ ?max_rounds ~start () with
       | Some r -> (float_of_int r.rounds, float_of_int r.transmissions)
       | None -> (-1.0, nan))
 
-let infection_time ~pool ~master_seed ~trials ?branching ?lazy_ ?max_rounds ?source g =
+let infection_time ?obs ~pool ~master_seed ~trials ?branching ?lazy_ ?max_rounds ?source g =
   let source = match source with Some s -> s | None -> start_heuristic g in
   let r =
-    collect ~pool ~master_seed ~trials (fun ~trial rng ->
+    collect ?obs ~pool ~master_seed ~trials (fun ~trial rng ->
         ignore trial;
         match Bips.run_infection g rng ?branching ?lazy_ ?max_rounds ~source () with
         | Some t -> (float_of_int t, nan)
@@ -72,10 +72,10 @@ let infection_time ~pool ~master_seed ~trials ?branching ?lazy_ ?max_rounds ?sou
   in
   { r with mean_transmissions = nan }
 
-let walk_cover_time ~pool ~master_seed ~trials ?lazy_ ?max_steps ?start g =
+let walk_cover_time ?obs ~pool ~master_seed ~trials ?lazy_ ?max_steps ?start g =
   let start = match start with Some s -> s | None -> start_heuristic g in
   let r =
-    collect ~pool ~master_seed ~trials (fun ~trial rng ->
+    collect ?obs ~pool ~master_seed ~trials (fun ~trial rng ->
         ignore trial;
         match Walk.cover_time g rng ?lazy_ ?max_steps ~start () with
         | Some t -> (float_of_int t, float_of_int t)
@@ -83,9 +83,9 @@ let walk_cover_time ~pool ~master_seed ~trials ?lazy_ ?max_steps ?start g =
   in
   r
 
-let multi_walk_cover_time ~pool ~master_seed ~trials ~k ?lazy_ ?max_rounds ?start g =
+let multi_walk_cover_time ?obs ~pool ~master_seed ~trials ~k ?lazy_ ?max_rounds ?start g =
   let start = match start with Some s -> s | None -> start_heuristic g in
-  collect ~pool ~master_seed ~trials (fun ~trial rng ->
+  collect ?obs ~pool ~master_seed ~trials (fun ~trial rng ->
       ignore trial;
       match Walk.multi_cover_time g rng ?lazy_ ?max_rounds ~k ~start () with
       | Some t -> (float_of_int t, float_of_int (t * k))

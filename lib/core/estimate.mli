@@ -24,25 +24,30 @@ val start_heuristic : Cobra_graph.Graph.t -> int
     from their hard end. *)
 
 val cover_time :
-  pool:Cobra_parallel.Pool.t -> master_seed:int -> trials:int ->
+  ?obs:Cobra_obs.Obs.t -> pool:Cobra_parallel.Pool.t -> master_seed:int -> trials:int ->
   ?branching:Process.branching -> ?lazy_:bool -> ?max_rounds:int -> ?start:int ->
   Cobra_graph.Graph.t -> result
-(** COBRA cover time from [start] (default {!start_heuristic}).
+(** COBRA cover time from [start] (default {!start_heuristic}).  An
+    enabled [obs] is handed to {!Cobra_parallel.Montecarlo.run} for
+    trial latency metrics and events; it is {e not} passed into the
+    per-trial runners, which execute on worker domains.
     @raise Invalid_argument if [trials < 1]. *)
 
 val infection_time :
-  pool:Cobra_parallel.Pool.t -> master_seed:int -> trials:int ->
+  ?obs:Cobra_obs.Obs.t -> pool:Cobra_parallel.Pool.t -> master_seed:int -> trials:int ->
   ?branching:Process.branching -> ?lazy_:bool -> ?max_rounds:int -> ?source:int ->
   Cobra_graph.Graph.t -> result
 (** BIPS infection time with persistent source [source] (default
     {!start_heuristic}). *)
 
 val walk_cover_time :
-  pool:Cobra_parallel.Pool.t -> master_seed:int -> trials:int -> ?lazy_:bool ->
+  ?obs:Cobra_obs.Obs.t -> pool:Cobra_parallel.Pool.t -> master_seed:int -> trials:int ->
+  ?lazy_:bool ->
   ?max_steps:int -> ?start:int -> Cobra_graph.Graph.t -> result
 (** Simple-random-walk cover time (steps), the [b = 1] baseline. *)
 
 val multi_walk_cover_time :
-  pool:Cobra_parallel.Pool.t -> master_seed:int -> trials:int -> k:int -> ?lazy_:bool ->
+  ?obs:Cobra_obs.Obs.t -> pool:Cobra_parallel.Pool.t -> master_seed:int -> trials:int ->
+  k:int -> ?lazy_:bool ->
   ?max_rounds:int -> ?start:int -> Cobra_graph.Graph.t -> result
 (** Cover time (rounds) of [k] independent walks from a common start. *)

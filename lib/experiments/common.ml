@@ -1,5 +1,6 @@
-let cover ~pool ~master_seed ~trials ?branching ?lazy_ ?max_rounds ?start g =
-  Cobra_core.Estimate.cover_time ~pool ~master_seed ~trials ?branching ?lazy_ ?max_rounds ?start g
+let cover ?obs ~pool ~master_seed ~trials ?branching ?lazy_ ?max_rounds ?start g =
+  Cobra_core.Estimate.cover_time ?obs ~pool ~master_seed ~trials ?branching ?lazy_ ?max_rounds
+    ?start g
 
 let graph_of name ~n ~seed =
   let rng = Cobra_prng.Rng.create (seed + (1000 * n)) in

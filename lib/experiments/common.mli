@@ -1,7 +1,7 @@
 (** Shared plumbing for the experiment modules. *)
 
 val cover :
-  pool:Cobra_parallel.Pool.t -> master_seed:int -> trials:int ->
+  ?obs:Cobra_obs.Obs.t -> pool:Cobra_parallel.Pool.t -> master_seed:int -> trials:int ->
   ?branching:Cobra_core.Process.branching -> ?lazy_:bool -> ?max_rounds:int -> ?start:int ->
   Cobra_graph.Graph.t -> Cobra_core.Estimate.result
 (** {!Cobra_core.Estimate.cover_time} with the experiment defaults. *)

@@ -7,7 +7,7 @@ module Bounds = Cobra_core.Bounds
    (star), and the diameter-driven instances (path, binary tree). *)
 let families = [ "path"; "cycle"; "star"; "binary-tree"; "lollipop"; "barbell"; "gnp" ]
 
-let run ~pool ~master_seed ~scale =
+let run ~obs ~pool ~master_seed ~scale =
   let ns, trials =
     match scale with
     | Experiment.Quick -> ([ 64; 128 ], 8)
@@ -30,7 +30,7 @@ let run ~pool ~master_seed ~scale =
       List.iter
         (fun n ->
           let g = Common.graph_of family ~n ~seed:master_seed in
-          let est = Common.cover ~pool ~master_seed ~trials g in
+          let est = Common.cover ~obs ~pool ~master_seed ~trials g in
           if est.censored > 0 then all_covered := false;
           let bound =
             Bounds.this_paper_general ~n:(Graph.n g) ~m:(Graph.m g) ~dmax:(Graph.max_degree g)

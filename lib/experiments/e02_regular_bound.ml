@@ -14,7 +14,7 @@ let cases =
     ("cycle", ([ 65; 129 ], [ 65; 129; 257; 513 ]));
   ]
 
-let run ~pool ~master_seed ~scale =
+let run ~obs ~pool ~master_seed ~scale =
   let pick (q, f) = match scale with Experiment.Quick -> q | Experiment.Full -> f in
   let trials = match scale with Experiment.Quick -> 8 | Experiment.Full -> 24 in
   let t =
@@ -36,7 +36,7 @@ let run ~pool ~master_seed ~scale =
           if (not (Graph.is_regular g)) || lambda >= 1.0 then all_valid := false
           else begin
             let r = Graph.max_degree g in
-            let est = Common.cover ~pool ~master_seed ~trials g in
+            let est = Common.cover ~obs ~pool ~master_seed ~trials g in
             if est.censored > 0 then all_valid := false;
             let bound = Bounds.this_paper_regular ~n:(Graph.n g) ~r ~lambda in
             let ratio = Common.ratio est.q90 bound in

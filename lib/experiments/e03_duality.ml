@@ -51,7 +51,7 @@ let run_exact master_seed =
     (exact_cases master_seed);
   (Table.render t, !worst)
 
-let run ~pool ~master_seed ~scale =
+let run ~obs:_ ~pool ~master_seed ~scale =
   let trials = match scale with Experiment.Quick -> 2_000 | Experiment.Full -> 12_000 in
   let t =
     Table.create

@@ -11,7 +11,7 @@ module Regress = Cobra_stats.Regress
    Conductance is phi = 1/d (the dimension cut), matching the paper's
    "both phi and 1 - lambda are Theta(1/log n)". *)
 
-let run ~pool ~master_seed ~scale =
+let run ~obs ~pool ~master_seed ~scale =
   let dims, trials =
     match scale with
     | Experiment.Quick -> ([ 4; 6; 8 ], 8)
@@ -36,8 +36,8 @@ let run ~pool ~master_seed ~scale =
       let gap = Common.lazy_gap_of g in
       let lambda = 1.0 -. gap in
       let phi = 1.0 /. float_of_int d in
-      let plain = Common.cover ~pool ~master_seed ~trials ~start:0 g in
-      let lzy = Common.cover ~pool ~master_seed:(master_seed + 1) ~trials ~lazy_:true ~start:0 g in
+      let plain = Common.cover ~obs ~pool ~master_seed ~trials ~start:0 g in
+      let lzy = Common.cover ~obs ~pool ~master_seed:(master_seed + 1) ~trials ~lazy_:true ~start:0 g in
       let this_paper = Bounds.this_paper_regular ~n ~r:d ~lambda in
       let podc = Bounds.podc16_regular ~n ~lambda in
       let spaa16 = Bounds.spaa16_regular ~n ~r:d ~phi in

@@ -3,7 +3,7 @@ module Table = Cobra_stats.Table
 module Regress = Cobra_stats.Regress
 module Bounds = Cobra_core.Bounds
 
-let run ~pool ~master_seed ~scale =
+let run ~obs ~pool ~master_seed ~scale =
   let ns, trials =
     match scale with
     | Experiment.Quick -> ([ 64; 128; 256 ], 8)
@@ -19,7 +19,7 @@ let run ~pool ~master_seed ~scale =
   List.iter
     (fun n ->
       let g = Common.graph_of "complete" ~n ~seed:master_seed in
-      let est = Common.cover ~pool ~master_seed ~trials g in
+      let est = Common.cover ~obs ~pool ~master_seed ~trials g in
       let r = est.summary.mean /. Bounds.dutta_complete ~n in
       ratios := r :: !ratios;
       Table.add_row t [ Common.fmt_i n; Common.fmt_f est.summary.mean; Common.fmt_f r ])
@@ -41,7 +41,7 @@ let run ~pool ~master_seed ~scale =
     (fun n ->
       let n = if n mod 2 = 1 then n + 1 else n in
       let g = Common.graph_of "regular-3" ~n ~seed:master_seed in
-      let est = Common.cover ~pool ~master_seed ~trials g in
+      let est = Common.cover ~obs ~pool ~master_seed ~trials g in
       pts := (float_of_int n, est.summary.mean) :: !pts;
       Table.add_row t
         [
@@ -76,7 +76,7 @@ let run ~pool ~master_seed ~scale =
         (fun n ->
           let g = Common.graph_of family ~n ~seed:master_seed in
           let n_real = Graph.n g in
-          let est = Common.cover ~pool ~master_seed ~trials g in
+          let est = Common.cover ~obs ~pool ~master_seed ~trials g in
           let ref_curve = Bounds.dutta_grid ~n:n_real ~dim in
           pts := (float_of_int n_real, est.summary.mean) :: !pts;
           Table.add_row t

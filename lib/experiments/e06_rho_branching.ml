@@ -4,7 +4,7 @@ module Process = Cobra_core.Process
 
 let rhos = [ 1.0; 0.75; 0.5; 0.25; 0.125 ]
 
-let run ~pool ~master_seed ~scale =
+let run ~obs ~pool ~master_seed ~scale =
   let cases, trials =
     match scale with
     | Experiment.Quick -> ([ ("regular-8", 128) ], 12)
@@ -27,7 +27,7 @@ let run ~pool ~master_seed ~scale =
       List.iter
         (fun rho ->
           let est =
-            Common.cover ~pool ~master_seed ~trials ~branching:(Process.Bernoulli rho) g
+            Common.cover ~obs ~pool ~master_seed ~trials ~branching:(Process.Bernoulli rho) g
           in
           if est.censored > 0 then all_ok := false;
           let s = est.summary.mean *. rho *. rho in

@@ -3,7 +3,7 @@ module Table = Cobra_stats.Table
 module Process = Cobra_core.Process
 module Growth = Cobra_core.Growth
 
-let run ~pool ~master_seed ~scale =
+let run ~obs:_ ~pool ~master_seed ~scale =
   let n, trajectories =
     match scale with Experiment.Quick -> (128, 100) | Experiment.Full -> (512, 400)
   in

@@ -3,7 +3,7 @@ module Table = Cobra_stats.Table
 module Process = Cobra_core.Process
 module Growth = Cobra_core.Growth
 
-let run ~pool ~master_seed ~scale =
+let run ~obs:_ ~pool ~master_seed ~scale =
   let cases, trajectories =
     match scale with
     | Experiment.Quick -> ([ ("regular-8", 128) ], 60)

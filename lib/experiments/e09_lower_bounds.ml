@@ -5,7 +5,7 @@ module Bounds = Cobra_core.Bounds
 
 let families = [ "complete"; "cycle"; "path"; "star"; "binary-tree"; "hypercube"; "torus2d" ]
 
-let run ~pool ~master_seed ~scale =
+let run ~obs ~pool ~master_seed ~scale =
   let n, trials = match scale with Experiment.Quick -> (128, 12) | Experiment.Full -> (256, 32) in
   let buf = Buffer.create 2048 in
   let all_ok = ref true in
@@ -24,7 +24,7 @@ let run ~pool ~master_seed ~scale =
       let g = Common.graph_of family ~n ~seed:master_seed in
       let diam = Props.diameter g in
       let lower = Bounds.lower_bound ~n:(Graph.n g) ~diameter:diam in
-      let est = Common.cover ~pool ~master_seed ~trials g in
+      let est = Common.cover ~obs ~pool ~master_seed ~trials g in
       (* The theoretical statement bounds every sample, so compare the
          observed minimum; allow the ceiling effect on log2. *)
       let ok = est.summary.min >= Float.of_int (int_of_float lower) in
@@ -53,9 +53,9 @@ let run ~pool ~master_seed ~scale =
     (fun family ->
       let g = Common.graph_of family ~n ~seed:master_seed in
       let walk =
-        Cobra_core.Estimate.walk_cover_time ~pool ~master_seed ~trials g
+        Cobra_core.Estimate.walk_cover_time ~obs ~pool ~master_seed ~trials g
       in
-      let cobra = Common.cover ~pool ~master_seed ~trials g in
+      let cobra = Common.cover ~obs ~pool ~master_seed ~trials g in
       let nlogn = Bounds.walk_cover_lower ~n:(Graph.n g) in
       let matthews = Cobra_core.Walk_theory.matthews_upper g in
       let walk_ratio = Common.ratio walk.summary.mean nlogn in

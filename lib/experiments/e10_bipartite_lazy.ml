@@ -4,7 +4,7 @@ module Props = Cobra_graph.Props
 module Table = Cobra_stats.Table
 module Bounds = Cobra_core.Bounds
 
-let run ~pool ~master_seed ~scale =
+let run ~obs ~pool ~master_seed ~scale =
   let cases, trials =
     match scale with
     | Experiment.Quick -> ([ ("cycle64", Gen.cycle 64); ("K_16,16", Gen.complete_bipartite 16 16) ], 12)
@@ -29,8 +29,8 @@ let run ~pool ~master_seed ~scale =
       let bip = Props.is_bipartite g in
       let lambda = Common.lambda_of g in
       let lazy_gap = Common.lazy_gap_of g in
-      let plain = Common.cover ~pool ~master_seed ~trials g in
-      let lzy = Common.cover ~pool ~master_seed:(master_seed + 1) ~trials ~lazy_:true g in
+      let plain = Common.cover ~obs ~pool ~master_seed ~trials g in
+      let lzy = Common.cover ~obs ~pool ~master_seed:(master_seed + 1) ~trials ~lazy_:true g in
       (* All these instances are regular, so Theorem 1.2 applies to the
          lazy chain with its gap. *)
       let bound =

@@ -3,7 +3,7 @@ module Table = Cobra_stats.Table
 module Bips = Cobra_core.Bips
 module Phases = Cobra_core.Phases
 
-let run ~pool ~master_seed ~scale =
+let run ~obs ~pool ~master_seed ~scale =
   let cases, trajectories =
     match scale with
     | Experiment.Quick -> ([ ("regular-8", 128) ], 20)
@@ -26,7 +26,7 @@ let run ~pool ~master_seed ~scale =
       let gap = 1.0 -. lambda in
       let threshold = Phases.default_small_threshold ~n:n_real ~lambda in
       let splits =
-        Cobra_parallel.Montecarlo.run ~pool ~master_seed ~trials:trajectories (fun ~trial rng ->
+        Cobra_parallel.Montecarlo.run ~obs ~pool ~master_seed ~trials:trajectories (fun ~trial rng ->
             ignore trial;
             match Bips.run_trajectory g rng ~source:0 () with
             | Some traj -> Some (Phases.split ~n:n_real ~small_threshold:threshold ~sizes:traj.sizes)

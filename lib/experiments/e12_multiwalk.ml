@@ -8,7 +8,7 @@ module Estimate = Cobra_core.Estimate
    2|C_t| <= 2n.  We compare rounds-to-cover and total transmissions at
    several k, including k = n (every vertex budget-matched). *)
 
-let run ~pool ~master_seed ~scale =
+let run ~obs ~pool ~master_seed ~scale =
   let cases, trials =
     match scale with
     | Experiment.Quick -> ([ ("complete", 128); ("cycle", 128) ], 10)
@@ -28,13 +28,13 @@ let run ~pool ~master_seed ~scale =
             ("transmissions (mean)", Table.Right);
           ]
       in
-      let cobra = Common.cover ~pool ~master_seed ~trials g in
+      let cobra = Common.cover ~obs ~pool ~master_seed ~trials g in
       Table.add_row t
         [ "COBRA b=2"; Common.fmt_f cobra.summary.mean; Common.fmt_f cobra.mean_transmissions ];
       let walk_rounds = ref infinity in
       List.iter
         (fun k ->
-          let est = Estimate.multi_walk_cover_time ~pool ~master_seed ~trials ~k g in
+          let est = Estimate.multi_walk_cover_time ~obs ~pool ~master_seed ~trials ~k g in
           (match est.censored with 0 -> () | _ -> all_ok := false);
           if k = n_real then walk_rounds := est.summary.mean;
           Table.add_row t

@@ -22,7 +22,7 @@ let protos =
     { pname = "BIPS (infection)"; run = (fun g rng source -> Gossip.bips_infection g rng ~source) };
   ]
 
-let run ~pool ~master_seed ~scale =
+let run ~obs ~pool ~master_seed ~scale =
   let cases, trials =
     match scale with
     | Experiment.Quick -> ([ ("regular-8", 128) ], 12)
@@ -47,7 +47,7 @@ let run ~pool ~master_seed ~scale =
       List.iter
         (fun proto ->
           let results =
-            Cobra_parallel.Montecarlo.run ~pool
+            Cobra_parallel.Montecarlo.run ~obs ~pool
               ~master_seed:(master_seed + Hashtbl.hash proto.pname)
               ~trials
               (fun ~trial rng ->

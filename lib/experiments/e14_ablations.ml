@@ -31,16 +31,16 @@ let cover_without_replacement g rng ~start ~max_rounds =
    with Exit -> ());
   !result
 
-let mc ~pool ~master_seed ~trials f =
+let mc ~obs ~pool ~master_seed ~trials f =
   let obs =
-    Cobra_parallel.Montecarlo.run ~pool ~master_seed ~trials (fun ~trial rng ->
+    Cobra_parallel.Montecarlo.run ~obs ~pool ~master_seed ~trials (fun ~trial rng ->
         ignore trial;
         f rng)
   in
   let vals = List.filter_map Fun.id (Array.to_list obs) in
   (Summary.of_array (Array.of_list (List.map float_of_int vals)), List.length vals)
 
-let run ~pool ~master_seed ~scale =
+let run ~obs ~pool ~master_seed ~scale =
   let families, trials =
     match scale with
     | Experiment.Quick -> ([ ("regular-8", 128); ("cycle", 129) ], 16)
@@ -64,10 +64,10 @@ let run ~pool ~master_seed ~scale =
       let start = Cobra_core.Estimate.start_heuristic g in
       let max_rounds = Cobra.default_max_rounds g in
       let with_r, c1 =
-        mc ~pool ~master_seed ~trials (fun rng -> Cobra.run_cover g rng ~start ())
+        mc ~obs ~pool ~master_seed ~trials (fun rng -> Cobra.run_cover g rng ~start ())
       in
       let without_r, c2 =
-        mc ~pool ~master_seed:(master_seed + 1) ~trials (fun rng ->
+        mc ~obs ~pool ~master_seed:(master_seed + 1) ~trials (fun rng ->
             cover_without_replacement g rng ~start ~max_rounds)
       in
       if c1 < trials || c2 < trials then all_ok := false;
@@ -96,9 +96,9 @@ let run ~pool ~master_seed ~scale =
     (fun (family, n) ->
       let g = Common.graph_of family ~n ~seed:master_seed in
       let start = Cobra_core.Estimate.start_heuristic g in
-      let plain, _ = mc ~pool ~master_seed ~trials (fun rng -> Cobra.run_cover g rng ~start ()) in
+      let plain, _ = mc ~obs ~pool ~master_seed ~trials (fun rng -> Cobra.run_cover g rng ~start ()) in
       let lzy, _ =
-        mc ~pool ~master_seed:(master_seed + 2) ~trials (fun rng ->
+        mc ~obs ~pool ~master_seed:(master_seed + 2) ~trials (fun rng ->
             Cobra.run_cover g rng ~lazy_:true ~start ())
       in
       let ratio = lzy.mean /. plain.mean in

@@ -10,7 +10,7 @@ module Sis_chain = Cobra_exact.Sis_chain
    drop the source and the same refresh dynamic becomes a race between
    two absorbing states. *)
 
-let run ~pool ~master_seed ~scale =
+let run ~obs ~pool ~master_seed ~scale =
   let trials = match scale with Experiment.Quick -> 400 | Experiment.Full -> 4000 in
   let buf = Buffer.create 2048 in
   let all_ok = ref true in
@@ -36,7 +36,7 @@ let run ~pool ~master_seed ~scale =
       let exact_p = Sis_chain.saturation_probability chain ~initial:1 in
       let exact_t = Sis_chain.expected_absorption_time chain ~initial:1 in
       let results =
-        Cobra_parallel.Montecarlo.run ~pool ~master_seed:(master_seed + Hashtbl.hash name)
+        Cobra_parallel.Montecarlo.run ~obs ~pool ~master_seed:(master_seed + Hashtbl.hash name)
           ~trials (fun ~trial rng ->
             ignore trial;
             let initial = Bitset.of_list n [ 0 ] in
@@ -77,10 +77,10 @@ let run ~pool ~master_seed ~scale =
   List.iter
     (fun (family, n) ->
       let g = Common.graph_of family ~n ~seed:master_seed in
-      let bips = Cobra_core.Estimate.infection_time ~pool ~master_seed ~trials:64 ~source:0 g in
+      let bips = Cobra_core.Estimate.infection_time ~obs ~pool ~master_seed ~trials:64 ~source:0 g in
       if bips.censored > 0 then all_ok := false;
       let sis_saturated =
-        Cobra_parallel.Montecarlo.run ~pool ~master_seed:(master_seed + 5) ~trials:64
+        Cobra_parallel.Montecarlo.run ~obs ~pool ~master_seed:(master_seed + 5) ~trials:64
           (fun ~trial rng ->
             ignore trial;
             let initial = Bitset.of_list (Graph.n g) [ 0 ] in

@@ -19,7 +19,7 @@ let stress_cases n =
     ("caterpillar", Gen_extra.caterpillar ~spine:(n / 4) ~legs:3);
   ]
 
-let run ~pool ~master_seed ~scale =
+let run ~obs ~pool ~master_seed ~scale =
   let n, trials, sweep =
     match scale with
     | Experiment.Quick -> (128, 12, [ 64; 128; 256 ])
@@ -34,7 +34,7 @@ let run ~pool ~master_seed ~scale =
       (* Families with rigid sizes (e.g. petersen) can realise far fewer
          vertices than requested; skip them to keep ratios comparable. *)
       if Graph.n g >= n / 2 then begin
-        let est = Common.cover ~pool ~master_seed ~trials g in
+        let est = Common.cover ~obs ~pool ~master_seed ~trials g in
         if est.censored = 0 then begin
           let ratio = est.summary.mean /. Bounds.walk_cover_lower ~n:(Graph.n g) in
           measurements := (name, Graph.n g, est.summary.mean, ratio) :: !measurements
@@ -78,7 +78,7 @@ let run ~pool ~master_seed ~scale =
         | Some g -> g
         | None -> Common.graph_of worst_name ~n ~seed:master_seed
       in
-      let est = Common.cover ~pool ~master_seed ~trials g in
+      let est = Common.cover ~obs ~pool ~master_seed ~trials g in
       if est.censored = 0 then begin
         pts := (float_of_int (Graph.n g), est.summary.mean) :: !pts;
         Table.add_row t

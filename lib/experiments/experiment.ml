@@ -4,7 +4,9 @@ type t = {
   id : string;
   title : string;
   claim : string;
-  run : pool:Cobra_parallel.Pool.t -> master_seed:int -> scale:scale -> string;
+  run :
+    obs:Cobra_obs.Obs.t -> pool:Cobra_parallel.Pool.t -> master_seed:int -> scale:scale ->
+    string;
 }
 
 let make ~id ~title ~claim ~run = { id; title; claim; run }
@@ -13,3 +15,21 @@ let header t =
   let rule = String.make 78 '=' in
   Printf.sprintf "%s\n%s — %s\nclaim: %s\n%s\n" rule (String.uppercase_ascii t.id) t.title
     t.claim rule
+
+let scale_name = function Quick -> "quick" | Full -> "full"
+
+let manifest t ~master_seed ~scale ~domains =
+  Cobra_obs.Manifest.create ~experiment:t.id ~master_seed ~scale:(scale_name scale) ~domains ()
+
+let run_observed ?(obs = Cobra_obs.Obs.null) t ~pool ~master_seed ~scale =
+  Cobra_obs.Obs.emit obs (Cobra_obs.Trace.Experiment_started { id = t.id });
+  let timer = Cobra_obs.Timer.start () in
+  let output = t.run ~obs ~pool ~master_seed ~scale in
+  let seconds = Cobra_obs.Timer.elapsed_s timer in
+  if Cobra_obs.Obs.enabled obs then
+    Cobra_obs.Metrics.set
+      (Cobra_obs.Metrics.gauge (Cobra_obs.Obs.metrics obs) ~scope:"experiment"
+         (t.id ^ "/seconds"))
+      seconds;
+  Cobra_obs.Obs.emit obs (Cobra_obs.Trace.Experiment_completed { id = t.id; seconds });
+  output

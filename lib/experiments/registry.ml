@@ -23,3 +23,13 @@ let find id =
   List.find_opt (fun (e : Experiment.t) -> e.id = id) all
 
 let ids = List.map (fun (e : Experiment.t) -> e.id) all
+
+let select = function
+  | [ "all" ] -> Ok all
+  | requested -> (
+      match List.filter (fun id -> find id = None) requested with
+      | [] -> Ok (List.filter_map find requested)
+      | missing ->
+          Error
+            (Printf.sprintf "unknown experiment id(s): %s (try 'list')"
+               (String.concat ", " missing)))

@@ -5,6 +5,7 @@ module Make (P : Protocol.S) = struct
     graph : Graph.t;
     states : P.state array;
     ever_informed : bool array;
+    obs : Cobra_obs.Obs.t;
     mutable informed_count : int;
     mutable rounds : int;
     mutable messages : int;
@@ -18,7 +19,7 @@ module Make (P : Protocol.S) = struct
     done;
     t.informed_count <- !count
 
-  let create g ~start =
+  let create ?(obs = Cobra_obs.Obs.null) g ~start =
     let n = Graph.n g in
     if n = 0 then invalid_arg "Engine.create: empty graph";
     if start < 0 || start >= n then invalid_arg "Engine.create: start out of range";
@@ -28,6 +29,7 @@ module Make (P : Protocol.S) = struct
         graph = g;
         states;
         ever_informed = Array.make n false;
+        obs;
         informed_count = 0;
         rounds = 0;
         messages = 0;
@@ -57,6 +59,10 @@ module Make (P : Protocol.S) = struct
 
   let round t rng =
     let n = Graph.n t.graph in
+    let observing = Cobra_obs.Obs.enabled t.obs in
+    let messages_before = t.messages in
+    if observing then
+      Cobra_obs.Obs.emit t.obs (Cobra_obs.Trace.Round_started { round = t.rounds + 1 });
     (* Phase 1: requests.  Inboxes carry (sender, message). *)
     let requests : (int * P.message) list array = Array.make n [] in
     for v = 0 to n - 1 do
@@ -88,7 +94,16 @@ module Make (P : Protocol.S) = struct
           ~replies:replies.(v)
     done;
     t.rounds <- t.rounds + 1;
-    refresh_informed t
+    refresh_informed t;
+    if observing then
+      Cobra_obs.Obs.emit t.obs
+        (Cobra_obs.Trace.Round_ended
+           {
+             round = t.rounds;
+             informed = t.informed_count;
+             active = current_count t;
+             messages = t.messages - messages_before;
+           })
 
   let run_until ~finished ?max_rounds t rng =
     let n = Graph.n t.graph in

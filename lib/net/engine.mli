@@ -8,8 +8,14 @@
 module Make (P : Protocol.S) : sig
   type t
 
-  val create : Cobra_graph.Graph.t -> start:int -> t
-  (** Fresh network with the information placed at [start].
+  val create : ?obs:Cobra_obs.Obs.t -> Cobra_graph.Graph.t -> start:int -> t
+  (** Fresh network with the information placed at [start].  An enabled
+      [obs] (default {!Cobra_obs.Obs.null}) receives a
+      [Round_started]/[Round_ended] event pair per executed round; the
+      [Round_ended] payload carries the latched informed count, the
+      current informed-set size and the messages sent that round.  The
+      engine never reads the RNG for observability, so runs are
+      bit-identical with it on or off.
       @raise Invalid_argument on an empty graph or bad start. *)
 
   val graph : t -> Cobra_graph.Graph.t

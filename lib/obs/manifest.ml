@@ -1,0 +1,72 @@
+type t = {
+  created_at : string;
+  experiment : string option;
+  master_seed : int;
+  scale : string;
+  graph_params : (string * string) list;
+  domains : int;
+  ocaml_version : string;
+  git_revision : string;
+  hostname : string;
+}
+
+(* First line of a command's output, if it exits 0 and prints one.  The
+   stream is drained to EOF: closing the pipe early would kill a chatty
+   child (e.g. `git status` on a large tree) with SIGPIPE and turn its
+   exit status non-zero. *)
+let run_line cmd =
+  try
+    let ic = Unix.open_process_in cmd in
+    let line = try Some (String.trim (input_line ic)) with End_of_file -> None in
+    (try
+       while true do
+         ignore (input_line ic)
+       done
+     with End_of_file -> ());
+    match (Unix.close_process_in ic, line) with
+    | Unix.WEXITED 0, Some l when l <> "" -> Some l
+    | _ -> None
+  with _ -> None
+
+let compute_git_revision () =
+  match run_line "git rev-parse --short HEAD 2>/dev/null" with
+  | None -> "unknown"
+  | Some rev -> (
+      match run_line "git status --porcelain 2>/dev/null" with
+      | Some _ -> rev ^ "-dirty"
+      | None -> rev)
+
+let git_revision =
+  let cached = lazy (compute_git_revision ()) in
+  fun () -> Lazy.force cached
+
+let hostname () = try Unix.gethostname () with _ -> "unknown"
+
+let create ?experiment ?(graph_params = []) ~master_seed ~scale ~domains () =
+  {
+    created_at = Timer.iso8601 (Timer.stamp ());
+    experiment;
+    master_seed;
+    scale;
+    graph_params;
+    domains;
+    ocaml_version = Sys.ocaml_version;
+    git_revision = git_revision ();
+    hostname = hostname ();
+  }
+
+let to_json t =
+  Json.Obj
+    [
+      ("created_at", Json.String t.created_at);
+      ( "experiment",
+        match t.experiment with Some id -> Json.String id | None -> Json.Null );
+      ("master_seed", Json.Int t.master_seed);
+      ("scale", Json.String t.scale);
+      ( "graph_params",
+        Json.Obj (List.map (fun (k, v) -> (k, Json.String v)) t.graph_params) );
+      ("domains", Json.Int t.domains);
+      ("ocaml_version", Json.String t.ocaml_version);
+      ("git_revision", Json.String t.git_revision);
+      ("hostname", Json.String t.hostname);
+    ]

@@ -1,0 +1,34 @@
+(** Per-run manifests: the configuration fingerprint of a result.
+
+    Every table in EXPERIMENTS.md is a deterministic function of
+    (code revision, master seed, scale, graph parameters); the manifest
+    records exactly that plus the environment it ran in, so any
+    published number is traceable to the configuration that produced
+    it. *)
+
+type t = {
+  created_at : string;  (** ISO-8601 UTC stamp of manifest creation. *)
+  experiment : string option;  (** Experiment id, when run under the harness. *)
+  master_seed : int;
+  scale : string;  (** ["quick"] / ["full"] (or a caller-defined label). *)
+  graph_params : (string * string) list;
+      (** Free-form instance parameters (family, n, r, ...). *)
+  domains : int;  (** Pool size used, including the caller. *)
+  ocaml_version : string;
+  git_revision : string;  (** ["unknown"] outside a git checkout. *)
+  hostname : string;
+}
+
+val create :
+  ?experiment:string -> ?graph_params:(string * string) list -> master_seed:int ->
+  scale:string -> domains:int -> unit -> t
+(** Fills the environment fields ([ocaml_version], [git_revision],
+    [hostname], [created_at]) automatically. *)
+
+val to_json : t -> Json.t
+
+val git_revision : unit -> string
+(** Short [HEAD] revision of the current directory's checkout, with a
+    ["-dirty"] suffix when the worktree has modifications; ["unknown"]
+    when git or the repository is unavailable.  Computed once per
+    process. *)

@@ -1,0 +1,110 @@
+type counter = { mutable count : int }
+type gauge = { mutable value : float }
+
+type histogram = {
+  upper : float array;
+  counts : int array; (* length upper + 1; last slot is overflow *)
+  mutable total : int;
+  mutable sum : float;
+}
+
+type instrument = Counter of counter | Gauge of gauge | Histogram of histogram
+
+type t = {
+  table : (string, instrument) Hashtbl.t;
+  mutable order : string list; (* reversed registration order *)
+}
+
+let create () = { table = Hashtbl.create 16; order = [] }
+
+let full_name ?scope name =
+  match scope with None -> name | Some s -> s ^ "/" ^ name
+
+let register t name make =
+  match Hashtbl.find_opt t.table name with
+  | Some existing -> existing
+  | None ->
+      let i = make () in
+      Hashtbl.add t.table name i;
+      t.order <- name :: t.order;
+      i
+
+let kind_error name = invalid_arg (Printf.sprintf "Metrics: %s is registered as another kind" name)
+
+let counter t ?scope name =
+  let name = full_name ?scope name in
+  match register t name (fun () -> Counter { count = 0 }) with
+  | Counter c -> c
+  | _ -> kind_error name
+
+let gauge t ?scope name =
+  let name = full_name ?scope name in
+  match register t name (fun () -> Gauge { value = 0.0 }) with
+  | Gauge g -> g
+  | _ -> kind_error name
+
+let validate_buckets buckets =
+  if Array.length buckets = 0 then invalid_arg "Metrics.histogram: empty buckets";
+  Array.iteri
+    (fun i b ->
+      if i > 0 && b <= buckets.(i - 1) then
+        invalid_arg "Metrics.histogram: buckets must be strictly increasing")
+    buckets
+
+let histogram t ?scope ~buckets name =
+  let name = full_name ?scope name in
+  validate_buckets buckets;
+  match
+    register t name (fun () ->
+        Histogram
+          {
+            upper = Array.copy buckets;
+            counts = Array.make (Array.length buckets + 1) 0;
+            total = 0;
+            sum = 0.0;
+          })
+  with
+  | Histogram h -> if h.upper <> buckets then kind_error name else h
+  | _ -> kind_error name
+
+let incr c = c.count <- c.count + 1
+let add c n = c.count <- c.count + n
+let set g v = g.value <- v
+
+let observe h x =
+  let k = Array.length h.upper in
+  let i = ref 0 in
+  (* linear scan: bucket lists are short (~12 bounds) and registration-time *)
+  while !i < k && x > h.upper.(!i) do
+    i := !i + 1
+  done;
+  h.counts.(!i) <- h.counts.(!i) + 1;
+  h.total <- h.total + 1;
+  h.sum <- h.sum +. x
+
+let snapshot_histogram h =
+  ( Array.to_list (Array.mapi (fun i b -> (b, h.counts.(i))) h.upper),
+    h.counts.(Array.length h.upper) )
+
+type hist_view = {
+  buckets : (float * int) list;
+  overflow : int;
+  total : int;
+  sum : float;
+}
+
+type view = Counter_v of int | Gauge_v of float | Histogram_v of hist_view
+
+let snapshot t =
+  List.rev_map
+    (fun name ->
+      let view =
+        match Hashtbl.find t.table name with
+        | Counter c -> Counter_v c.count
+        | Gauge g -> Gauge_v g.value
+        | Histogram h ->
+            let buckets, overflow = snapshot_histogram h in
+            Histogram_v { buckets; overflow; total = h.total; sum = h.sum }
+      in
+      (name, view))
+    t.order

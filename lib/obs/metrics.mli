@@ -1,0 +1,55 @@
+(** A lightweight metrics registry: counters, gauges and fixed-bucket
+    histograms under named scopes.
+
+    Instruments are registered by name (["scope/name"]) and returned as
+    plain mutable cells, so the hot-path cost of an update is one store
+    — no hashing per observation.  Instrumentation sites gate on
+    {!Obs.enabled} before touching the registry, which is what makes the
+    whole subsystem free when observability is off.
+
+    The registry is owned by the domain that created it: simulation
+    workers never record into it directly (the Monte-Carlo driver
+    collects per-trial observations into an index-addressed array and
+    feeds the registry after the parallel join), so no synchronisation
+    is needed. *)
+
+type t
+type counter
+type gauge
+type histogram
+
+val create : unit -> t
+
+val counter : t -> ?scope:string -> string -> counter
+(** Registers (or retrieves) a counter.  Re-registering a name returns
+    the existing instrument.
+    @raise Invalid_argument if the name is bound to another kind. *)
+
+val gauge : t -> ?scope:string -> string -> gauge
+
+val histogram : t -> ?scope:string -> buckets:float array -> string -> histogram
+(** [buckets] are strictly increasing upper bounds; an observation [x]
+    lands in the first bucket with [x <= bound], or in the implicit
+    overflow bucket.
+    @raise Invalid_argument on an empty or non-increasing bucket list,
+    or if re-registering with different buckets. *)
+
+val incr : counter -> unit
+val add : counter -> int -> unit
+val set : gauge -> float -> unit
+val observe : histogram -> float -> unit
+
+(** {2 Snapshots} *)
+
+type hist_view = {
+  buckets : (float * int) list;  (** (upper bound, count) in bound order. *)
+  overflow : int;
+  total : int;
+  sum : float;
+}
+
+type view = Counter_v of int | Gauge_v of float | Histogram_v of hist_view
+
+val snapshot : t -> (string * view) list
+(** Current values in registration order (deterministic given the same
+    program path). *)

@@ -1,0 +1,9 @@
+type t = { enabled : bool; sink : Trace.sink; metrics : Metrics.t }
+
+let null = { enabled = false; sink = Trace.null; metrics = Metrics.create () }
+let create ?(sink = Trace.null) () = { enabled = true; sink; metrics = Metrics.create () }
+let enabled t = t.enabled
+let emit t event = if t.enabled then Trace.emit t.sink event
+let metrics t = t.metrics
+let sink t = t.sink
+let close t = Trace.close t.sink

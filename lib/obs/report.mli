@@ -1,0 +1,11 @@
+(** Rendering of metric snapshots: aligned text for terminals, JSON for
+    machines ([metrics.json]). *)
+
+val to_text : (string * Metrics.view) list -> string
+(** One aligned line per instrument; histograms expand to one line per
+    populated bucket plus a summary line. *)
+
+val to_json : (string * Metrics.view) list -> Json.t
+(** Object keyed by instrument name; counters become ints, gauges
+    floats, histograms objects with [buckets]/[overflow]/[total]/[sum]
+    fields. *)

@@ -1,0 +1,11 @@
+type t = { started : float }
+
+let start () = { started = Unix.gettimeofday () }
+let elapsed_s t = Unix.gettimeofday () -. t.started
+let elapsed_ns t = elapsed_s t *. 1e9
+let stamp () = Unix.gettimeofday ()
+
+let iso8601 epoch =
+  let tm = Unix.gmtime epoch in
+  Printf.sprintf "%04d-%02d-%02dT%02d:%02d:%02dZ" (tm.Unix.tm_year + 1900) (tm.Unix.tm_mon + 1)
+    tm.Unix.tm_mday tm.Unix.tm_hour tm.Unix.tm_min tm.Unix.tm_sec

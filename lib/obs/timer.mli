@@ -1,0 +1,24 @@
+(** Wall-clock timers for run and trial latencies.
+
+    Backed by the highest-resolution wall clock the stdlib exposes
+    ([Unix.gettimeofday], microsecond resolution) — good enough for the
+    millisecond-scale trial and experiment latencies the metrics track.
+    Timers never touch any RNG, so timing a simulation cannot change its
+    result. *)
+
+type t
+
+val start : unit -> t
+
+val elapsed_s : t -> float
+(** Seconds since [start]; monotone in repeated calls on one timer
+    except across system clock steps. *)
+
+val elapsed_ns : t -> float
+(** [elapsed_s] scaled to nanoseconds (the bench-table unit). *)
+
+val stamp : unit -> float
+(** Current unix epoch time in seconds — manifest timestamps. *)
+
+val iso8601 : float -> string
+(** [iso8601 t] renders an epoch stamp as ["YYYY-MM-DDThh:mm:ssZ"]. *)

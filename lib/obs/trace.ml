@@ -1,0 +1,115 @@
+type event =
+  | Round_started of { round : int }
+  | Round_ended of { round : int; informed : int; active : int; messages : int }
+  | Trial_completed of { trial : int; latency_ms : float }
+  | Experiment_started of { id : string }
+  | Experiment_completed of { id : string; seconds : float }
+
+let to_json = function
+  | Round_started { round } -> Json.Obj [ ("event", Json.String "round_started"); ("round", Json.Int round) ]
+  | Round_ended { round; informed; active; messages } ->
+      Json.Obj
+        [
+          ("event", Json.String "round_ended");
+          ("round", Json.Int round);
+          ("informed", Json.Int informed);
+          ("active", Json.Int active);
+          ("messages", Json.Int messages);
+        ]
+  | Trial_completed { trial; latency_ms } ->
+      Json.Obj
+        [
+          ("event", Json.String "trial_completed");
+          ("trial", Json.Int trial);
+          ("latency_ms", Json.Float latency_ms);
+        ]
+  | Experiment_started { id } ->
+      Json.Obj [ ("event", Json.String "experiment_started"); ("id", Json.String id) ]
+  | Experiment_completed { id; seconds } ->
+      Json.Obj
+        [
+          ("event", Json.String "experiment_completed");
+          ("id", Json.String id);
+          ("seconds", Json.Float seconds);
+        ]
+
+let of_json json =
+  let ( let* ) r f = Result.bind r f in
+  let field name conv =
+    match Option.bind (Json.member json name) conv with
+    | Some v -> Ok v
+    | None -> Error (Printf.sprintf "trace event: missing or ill-typed field %S" name)
+  in
+  let int_f name = field name Json.to_int_opt in
+  let float_f name = field name Json.to_float_opt in
+  let string_f name = field name Json.to_string_opt in
+  let* tag = string_f "event" in
+  match tag with
+  | "round_started" ->
+      let* round = int_f "round" in
+      Ok (Round_started { round })
+  | "round_ended" ->
+      let* round = int_f "round" in
+      let* informed = int_f "informed" in
+      let* active = int_f "active" in
+      let* messages = int_f "messages" in
+      Ok (Round_ended { round; informed; active; messages })
+  | "trial_completed" ->
+      let* trial = int_f "trial" in
+      let* latency_ms = float_f "latency_ms" in
+      Ok (Trial_completed { trial; latency_ms })
+  | "experiment_started" ->
+      let* id = string_f "id" in
+      Ok (Experiment_started { id })
+  | "experiment_completed" ->
+      let* id = string_f "id" in
+      let* seconds = float_f "seconds" in
+      Ok (Experiment_completed { id; seconds })
+  | other -> Error (Printf.sprintf "trace event: unknown tag %S" other)
+
+type sink =
+  | Null
+  | Memory of event list ref (* reversed *)
+  | Jsonl of { mutable oc : out_channel option }
+
+let null = Null
+let memory () = Memory (ref [])
+let jsonl path = Jsonl { oc = Some (open_out path) }
+
+let emit sink event =
+  match sink with
+  | Null -> ()
+  | Memory events -> events := event :: !events
+  | Jsonl { oc = None } -> ()
+  | Jsonl { oc = Some oc } ->
+      output_string oc (Json.to_string (to_json event));
+      output_char oc '\n'
+
+let events = function Memory events -> List.rev !events | Null | Jsonl _ -> []
+
+let close = function
+  | Null | Memory _ -> ()
+  | Jsonl j -> (
+      match j.oc with
+      | None -> ()
+      | Some oc ->
+          j.oc <- None;
+          close_out oc)
+
+let read_jsonl path =
+  match open_in path with
+  | exception Sys_error msg -> Error msg
+  | ic ->
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () ->
+          let rec loop acc lineno =
+            match input_line ic with
+            | exception End_of_file -> Ok (List.rev acc)
+            | "" -> loop acc (lineno + 1)
+            | line -> (
+                match Result.bind (Json.of_string line) of_json with
+                | Ok event -> loop (event :: acc) (lineno + 1)
+                | Error e -> Error (Printf.sprintf "%s:%d: %s" path lineno e))
+          in
+          loop [] 1)

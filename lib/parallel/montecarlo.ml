@@ -1,9 +1,44 @@
 let check_trials trials = if trials < 1 then invalid_arg "Montecarlo: trials must be >= 1"
 
-let run ~pool ~master_seed ~trials f =
+(* Upper bounds in milliseconds for the per-trial latency histogram:
+   roughly 1-3-10 per decade from 100us to 30s. *)
+let latency_buckets_ms =
+  [| 0.1; 0.3; 1.0; 3.0; 10.0; 30.0; 100.0; 300.0; 1_000.0; 3_000.0; 10_000.0; 30_000.0 |]
+
+let run ?(obs = Cobra_obs.Obs.null) ~pool ~master_seed ~trials f =
   check_trials trials;
-  Pool.parallel_init pool trials (fun trial ->
-      f ~trial (Cobra_prng.Rng.for_trial ~master:master_seed ~trial))
+  if not (Cobra_obs.Obs.enabled obs) then
+    Pool.parallel_init pool trials (fun trial ->
+        f ~trial (Cobra_prng.Rng.for_trial ~master:master_seed ~trial))
+  else begin
+    (* Workers write latencies into trial-indexed slots; the registry and
+       the sink are only touched from this domain, after the join. *)
+    let latencies_ms = Array.make trials 0.0 in
+    let wall = Cobra_obs.Timer.start () in
+    let results =
+      Pool.parallel_init pool trials (fun trial ->
+          let timer = Cobra_obs.Timer.start () in
+          let result = f ~trial (Cobra_prng.Rng.for_trial ~master:master_seed ~trial) in
+          latencies_ms.(trial) <- Cobra_obs.Timer.elapsed_s timer *. 1_000.0;
+          result)
+    in
+    let total_s = Cobra_obs.Timer.elapsed_s wall in
+    let metrics = Cobra_obs.Obs.metrics obs in
+    Cobra_obs.Metrics.add (Cobra_obs.Metrics.counter metrics ~scope:"montecarlo" "trials") trials;
+    Cobra_obs.Metrics.set
+      (Cobra_obs.Metrics.gauge metrics ~scope:"montecarlo" "trials_per_sec")
+      (if total_s > 0.0 then float_of_int trials /. total_s else 0.0);
+    let histogram =
+      Cobra_obs.Metrics.histogram metrics ~scope:"montecarlo" ~buckets:latency_buckets_ms
+        "trial_latency_ms"
+    in
+    Array.iteri
+      (fun trial latency_ms ->
+        Cobra_obs.Metrics.observe histogram latency_ms;
+        Cobra_obs.Obs.emit obs (Cobra_obs.Trace.Trial_completed { trial; latency_ms }))
+      latencies_ms;
+    results
+  end
 
 let run_serial ~master_seed ~trials f =
   check_trials trials;

@@ -8,10 +8,18 @@
     regenerated exactly. *)
 
 val run :
-  pool:Pool.t -> master_seed:int -> trials:int -> (trial:int -> Cobra_prng.Rng.t -> 'a) -> 'a array
+  ?obs:Cobra_obs.Obs.t -> pool:Pool.t -> master_seed:int -> trials:int ->
+  (trial:int -> Cobra_prng.Rng.t -> 'a) -> 'a array
 (** [run ~pool ~master_seed ~trials f] evaluates
     [f ~trial rng_for_trial] for each [trial] in [0 .. trials-1] across
     the pool and returns the results in trial order.
+
+    With an enabled [obs] the driver additionally records a per-trial
+    wall-latency histogram, a trial counter and a trials/sec gauge
+    (scope ["montecarlo"]) and emits one [Trial_completed] event per
+    trial, in trial order, after the parallel loop joins — sinks are
+    single-domain, so workers never touch them.  Results are bitwise
+    identical with and without observability.
     @raise Invalid_argument if [trials < 1]. *)
 
 val run_serial :
