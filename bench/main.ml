@@ -1,5 +1,12 @@
 (* Benchmark harness.
 
+   Part 0 — kernel microbenches at n = 2^16: the word-parallel bitset
+   kernels and cobra_step on hypercube/expander/torus at the graph sizes
+   the experiment tables want to afford.  `dune exec bench/main.exe --
+   --quick` runs only these (plus the substrate kernels) under a reduced
+   measurement quota and still writes BENCH_cobra.json — the CI smoke
+   mode that makes kernel perf drift visible per PR.
+
    Part 1 — Bechamel microbenchmarks: one Test.make per experiment
    (e1..e12), timing the simulation kernel that experiment leans on, plus
    a few substrate kernels (step functions, eigenvalue solve, bitset
@@ -37,6 +44,49 @@ let complete128 = Gen.complete 128
 let petersen = Gen.petersen ()
 
 let cover ?branching ?lazy_ g () = ignore (Cobra.run_cover g rng ?branching ?lazy_ ~start:0 ())
+
+(* --- Part 0: n = 2^16 kernel microbenches --- *)
+
+let n16 = 1 lsl 16
+let hypercube16 = Gen.hypercube 16
+let torus256 = Gen.torus ~dims:[ 256; 256 ]
+
+(* Fewer switch rounds than the library default: the bench only needs a
+   fixed expander-like subject, not a well-mixed uniform sample. *)
+let regular8_65536 = Gen.random_regular ~n:n16 ~r:8 ~switches_per_edge:5 (Rng.create 3)
+
+let spread k = List.init k (fun i -> i * (n16 / k))
+
+let micro_kernels =
+  let dense = Bitset.of_list n16 (spread 4096) in
+  let dense_b = Bitset.of_list n16 (List.init 4096 (fun i -> (i * 16) + 7)) in
+  let sparse = Bitset.of_list n16 (spread 32) in
+  let union_dst = Bitset.of_list n16 (spread 4096) in
+  let next = Bitset.create n16 in
+  let step g current () =
+    ignore
+      (Process.cobra_step g rng ~branching:(Process.Fixed 2) ~lazy_:false ~current ~next : int)
+  in
+  [
+    Test.make ~name:"micro: bitset iter n=65536 (|S|=4096)"
+      (Staged.stage (fun () ->
+           let acc = ref 0 in
+           Bitset.iter (fun i -> acc := !acc + i) dense;
+           ignore (Sys.opaque_identity !acc)));
+    Test.make ~name:"micro: bitset union_into n=65536"
+      (Staged.stage (fun () -> Bitset.union_into ~into:union_dst dense_b));
+    Test.make ~name:"micro: bitset random_member n=65536 (|S|=4096)"
+      (Staged.stage (fun () -> ignore (Bitset.random_member dense rng : int)));
+    Test.make ~name:"micro: cobra_step hypercube d=16 (|C|=4096)"
+      (Staged.stage (step hypercube16 dense));
+    Test.make ~name:"micro: cobra_step regular8 n=65536 (|C|=4096)"
+      (Staged.stage (step regular8_65536 dense));
+    Test.make ~name:"micro: cobra_step torus 256x256 (|C|=4096)"
+      (Staged.stage (step torus256 dense));
+    Test.make ~name:"micro: cobra_step hypercube d=16 sparse (|C|=32)"
+      (Staged.stage (step hypercube16 sparse));
+    Test.make ~name:"cover: hypercube n=65536" (Staged.stage (cover hypercube16));
+  ]
 
 let experiment_kernels =
   [
@@ -180,11 +230,18 @@ let write_bench_json rows =
       output_char oc '\n');
   Printf.printf "\n[wrote %d benchmark estimates to %s]\n" (List.length entries) bench_json
 
-let run_benchmarks () =
+let run_benchmarks ~quick () =
   let ols = Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |] in
   let instances = Instance.[ monotonic_clock ] in
-  let cfg = Benchmark.cfg ~limit:500 ~quota:(Time.second 0.5) ~kde:None () in
-  let tests = Test.make_grouped ~name:"cobra" (experiment_kernels @ substrate_kernels @ ablation_kernels) in
+  let cfg =
+    if quick then Benchmark.cfg ~limit:150 ~quota:(Time.second 0.15) ~kde:None ()
+    else Benchmark.cfg ~limit:500 ~quota:(Time.second 0.5) ~kde:None ()
+  in
+  let suite =
+    if quick then micro_kernels @ substrate_kernels
+    else micro_kernels @ experiment_kernels @ substrate_kernels @ ablation_kernels
+  in
+  let tests = Test.make_grouped ~name:"cobra" suite in
   let raw = Benchmark.all cfg instances tests in
   let results = Analyze.all ols Instance.monotonic_clock raw in
   Printf.printf "%-50s %15s\n" "benchmark" "time/run";
@@ -234,8 +291,12 @@ let run_tables pool =
     (Cobra_parallel.Pool.size pool)
 
 (* One pool for the whole binary: spawning domains per phase would both
-   slow the run down and leak workers into the bechamel timings. *)
+   slow the run down and leak workers into the bechamel timings.  In
+   --quick mode no pool is spawned at all: only the single-threaded
+   kernel microbenches run. *)
 let () =
-  Cobra_parallel.Pool.with_pool (fun pool ->
-      run_benchmarks ();
-      run_tables pool)
+  if Array.exists (( = ) "--quick") Sys.argv then run_benchmarks ~quick:true ()
+  else
+    Cobra_parallel.Pool.with_pool (fun pool ->
+        run_benchmarks ~quick:false ();
+        run_tables pool)

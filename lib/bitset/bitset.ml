@@ -15,8 +15,23 @@ let () =
 
 let nwords capacity = (capacity + bpw - 1) / bpw
 
+(* Word/bit addressing divides by 63 on every membership operation, and
+   ocamlopt emits a hardware divide for it.  A multiply-shift by the
+   rounded-up reciprocal [ceil(2^36 / 63)] computes the same quotient in
+   a couple of cycles; it is exact for all 0 <= i < 2^30 (verified
+   exhaustively at the boundaries and by the theorem bound i < 2^36/62),
+   and [create] caps the capacity accordingly — universes beyond a
+   billion vertices are far outside this simulator's reach anyway. *)
+let max_capacity = 1 lsl 30
+let recip63 = 0x41041042
+
+let[@inline] div_bpw i = (i * recip63) lsr 36
+let[@inline] mod_bpw i = i - (div_bpw i * bpw)
+
 let create capacity =
   if capacity < 0 then invalid_arg "Bitset.create: negative capacity";
+  if capacity > max_capacity then
+    invalid_arg "Bitset.create: capacity exceeds the 2^30 addressing limit";
   { capacity; words = Array.make (max 1 (nwords capacity)) 0; card = 0 }
 
 let capacity t = t.capacity
@@ -30,23 +45,29 @@ let check t i =
 
 let mem t i =
   check t i;
-  t.words.(i / bpw) land (1 lsl (i mod bpw)) <> 0
+  Array.unsafe_get t.words (div_bpw i) land (1 lsl mod_bpw i) <> 0
 
-let add t i =
-  check t i;
-  let w = i / bpw and b = 1 lsl (i mod bpw) in
-  let old = t.words.(w) in
+(* No range check and no array bounds checks: for kernel loops whose
+   elements are in-range by construction (graph adjacency entries, loop
+   counters below n).  Behaviour is otherwise identical to [add]. *)
+let[@inline] unsafe_add t i =
+  let w = div_bpw i and b = 1 lsl mod_bpw i in
+  let old = Array.unsafe_get t.words w in
   if old land b = 0 then begin
-    t.words.(w) <- old lor b;
+    Array.unsafe_set t.words w (old lor b);
     t.card <- t.card + 1
   end
 
+let add t i =
+  check t i;
+  unsafe_add t i
+
 let remove t i =
   check t i;
-  let w = i / bpw and b = 1 lsl (i mod bpw) in
-  let old = t.words.(w) in
+  let w = div_bpw i and b = 1 lsl mod_bpw i in
+  let old = Array.unsafe_get t.words w in
   if old land b <> 0 then begin
-    t.words.(w) <- old land lnot b;
+    Array.unsafe_set t.words w (old land lnot b);
     t.card <- t.card - 1
   end
 
@@ -80,16 +101,37 @@ let blit ~src ~dst =
   Array.blit src.words 0 dst.words 0 (Array.length src.words);
   dst.card <- src.card
 
-let popcount x =
-  let rec go acc x = if x = 0 then acc else go (acc + 1) (x land (x - 1)) in
-  go 0 x
+(* --- word-level bit kernels --- *)
 
-let recount t =
-  let c = ref 0 in
-  for w = 0 to Array.length t.words - 1 do
-    c := !c + popcount t.words.(w)
-  done;
-  t.card <- !c
+(* SWAR popcount over the 63-bit word.  The byte-lane algorithm carries
+   over from the 64-bit version unchanged: the top lane is simply one
+   bit short, every partial sum still fits its lane, and the final
+   multiply accumulates all byte counts into bits 56..62 (the total is
+   at most 63, so the missing 64th bit is never needed).  Constants are
+   hex literals above [max_int]; OCaml wraps them to the intended 63-bit
+   patterns. *)
+let popcount x =
+  let x = x - ((x lsr 1) land 0x5555555555555555) in
+  let x = (x land 0x3333333333333333) + ((x lsr 2) land 0x3333333333333333) in
+  let x = (x + (x lsr 4)) land 0x0F0F0F0F0F0F0F0F in
+  (x * 0x0101010101010101) lsr 56
+
+(* De Bruijn-style trailing-zero count for a one-hot word (exactly one
+   bit set, position 0..62).  Multiplying the one-hot value by the
+   constant shifts it left by the bit position mod 2^63; the constant is
+   chosen (by exhaustive backtracking search) so the resulting top six
+   bits are distinct for all 63 positions, indexing a lookup table.
+   This replaces an O(63) shift-and-compare scan per emitted bit in the
+   iteration and sampling kernels.  The [-1] entry is the one 6-bit
+   window no shift produces — unreachable for one-hot input. *)
+let debruijn = 0x0245434CB63AE7BF
+
+let debruijn_table =
+  [| -1; 0; 1; 17; 2; 9; 18; 38; 6; 3; 10; 29; 25; 19; 39; 50; 15; 7; 4; 23; 13; 11; 30; 44;
+     35; 26; 20; 32; 46; 40; 51; 56; 62; 16; 8; 37; 5; 28; 24; 49; 14; 22; 12; 43; 34; 31;
+     45; 55; 61; 36; 27; 48; 21; 42; 33; 54; 60; 47; 41; 53; 59; 52; 58; 57 |]
+
+let[@inline] ctz_onehot low = debruijn_table.((low * debruijn) lsr 57)
 
 let equal a b =
   same_capacity a b;
@@ -101,26 +143,41 @@ let subset a b =
   let rec go w = w >= n || (a.words.(w) land lnot b.words.(w) = 0 && go (w + 1)) in
   go 0
 
+(* The three in-place binary operations fold the new cardinality into
+   the rewrite pass itself — one sweep over the words, not a second
+   recount sweep. *)
 let union_into ~into b =
   same_capacity into b;
-  for w = 0 to Array.length into.words - 1 do
-    into.words.(w) <- into.words.(w) lor b.words.(w)
+  let aw = into.words and bw = b.words in
+  let c = ref 0 in
+  for w = 0 to Array.length aw - 1 do
+    let x = aw.(w) lor bw.(w) in
+    aw.(w) <- x;
+    c := !c + popcount x
   done;
-  recount into
+  into.card <- !c
 
 let inter_into ~into b =
   same_capacity into b;
-  for w = 0 to Array.length into.words - 1 do
-    into.words.(w) <- into.words.(w) land b.words.(w)
+  let aw = into.words and bw = b.words in
+  let c = ref 0 in
+  for w = 0 to Array.length aw - 1 do
+    let x = aw.(w) land bw.(w) in
+    aw.(w) <- x;
+    c := !c + popcount x
   done;
-  recount into
+  into.card <- !c
 
 let diff_into ~into b =
   same_capacity into b;
-  for w = 0 to Array.length into.words - 1 do
-    into.words.(w) <- into.words.(w) land lnot b.words.(w)
+  let aw = into.words and bw = b.words in
+  let c = ref 0 in
+  for w = 0 to Array.length aw - 1 do
+    let x = aw.(w) land lnot bw.(w) in
+    aw.(w) <- x;
+    c := !c + popcount x
   done;
-  recount into
+  into.card <- !c
 
 let intersects a b =
   same_capacity a b;
@@ -129,19 +186,24 @@ let intersects a b =
   go 0
 
 let iter f t =
-  for w = 0 to Array.length t.words - 1 do
-    let word = ref t.words.(w) in
-    let base = w * bpw in
-    while !word <> 0 do
-      let low = !word land - !word in
-      (* Position of the lowest set bit, found by clearing and counting. *)
-      let b =
-        let rec pos i m = if m = low then i else pos (i + 1) (m lsl 1) in
-        pos 0 1
-      in
-      f (base + b);
-      word := !word land lnot low
-    done
+  let words = t.words in
+  for w = 0 to Array.length words - 1 do
+    let word = ref words.(w) in
+    if !word <> 0 then begin
+      let base = w * bpw in
+      while !word <> 0 do
+        let low = !word land - !word in
+        f (base + ctz_onehot low);
+        word := !word lxor low
+      done
+    end
+  done
+
+let iter_words f t =
+  let words = t.words in
+  for w = 0 to Array.length words - 1 do
+    let word = words.(w) in
+    if word <> 0 then f (w * bpw) word
   done
 
 let fold f t init =
@@ -169,50 +231,33 @@ let of_list capacity xs =
 let choose t =
   if t.card = 0 then None
   else begin
-    let result = ref None in
-    (try
-       iter
-         (fun i ->
-           result := Some i;
-           raise Exit)
-         t
-     with Exit -> ());
-    !result
+    let words = t.words in
+    let w = ref 0 in
+    while words.(!w) = 0 do
+      incr w
+    done;
+    let word = words.(!w) in
+    Some ((!w * bpw) + ctz_onehot (word land -word))
   end
 
 let random_member t rng =
   if t.card = 0 then invalid_arg "Bitset.random_member: empty set";
-  (* Draw the rank uniformly, then walk words accumulating popcounts. *)
+  (* Draw the rank uniformly, walk words accumulating popcounts, then
+     strip set bits until the rank-th one within the word surfaces. *)
   let rank = Cobra_prng.Rng.int_below rng t.card in
-  let seen = ref 0 in
-  let result = ref (-1) in
-  (try
-     for w = 0 to Array.length t.words - 1 do
-       let c = popcount t.words.(w) in
-       if !seen + c > rank then begin
-         let word = ref t.words.(w) in
-         let remaining = ref (rank - !seen) in
-         let base = w * bpw in
-         while !result < 0 do
-           let low = !word land - !word in
-           if !remaining = 0 then begin
-             let b =
-               let rec pos i m = if m = low then i else pos (i + 1) (m lsl 1) in
-               pos 0 1
-             in
-             result := base + b
-           end
-           else begin
-             decr remaining;
-             word := !word land lnot low
-           end
-         done;
-         raise Exit
-       end;
-       seen := !seen + c
-     done
-   with Exit -> ());
-  !result
+  let words = t.words in
+  let w = ref 0 and seen = ref 0 in
+  let c = ref (popcount words.(0)) in
+  while !seen + !c <= rank do
+    seen := !seen + !c;
+    incr w;
+    c := popcount words.(!w)
+  done;
+  let word = ref words.(!w) in
+  for _ = 1 to rank - !seen do
+    word := !word land (!word - 1)
+  done;
+  (!w * bpw) + ctz_onehot (!word land - !word)
 
 let pp ppf t =
   Format.fprintf ppf "{";

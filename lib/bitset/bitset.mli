@@ -14,7 +14,8 @@ type t
 
 val create : int -> t
 (** [create capacity] is the empty set over [0 .. capacity-1].
-    @raise Invalid_argument if [capacity < 0]. *)
+    @raise Invalid_argument if [capacity < 0] or [capacity > 2{^30}]
+    (the limit of the internal multiplicative word addressing). *)
 
 val capacity : t -> int
 (** Universe size the set was created with. *)
@@ -28,6 +29,12 @@ val mem : t -> int -> bool
 
 val add : t -> int -> unit
 (** Idempotent insertion. *)
+
+val unsafe_add : t -> int -> unit
+(** [add] without the range check, for kernel loops whose elements are
+    in-range by construction.  Out-of-range elements corrupt the set or
+    crash; prefer [add] everywhere performance does not demand
+    otherwise. *)
 
 val remove : t -> int -> unit
 (** Idempotent deletion. *)
@@ -62,6 +69,15 @@ val intersects : t -> t -> bool
 
 val iter : (int -> unit) -> t -> unit
 (** Iterates members in increasing order. *)
+
+val iter_words : (int -> int -> unit) -> t -> unit
+(** [iter_words f t] calls [f base bits] once per non-zero machine word
+    in increasing order, where [base] is the element index of the word's
+    bit 0: element [base + i] is a member iff bit [i] of [bits] is set.
+    This is the word-level escape hatch for kernels that want to consume
+    up to 63 membership bits per loop iteration instead of one; [bits]
+    may use the int's sign bit, so treat it as a bit pattern, not a
+    number. *)
 
 val fold : (int -> 'a -> 'a) -> t -> 'a -> 'a
 (** Folds members in increasing order. *)

@@ -9,10 +9,10 @@ let check_source g source =
 
 let run_loop g rng ~branching ~lazy_ ~max_rounds ~record ~source =
   let n = Graph.n g in
-  let current = Bitset.create n in
-  let next = Bitset.create n in
+  let current = ref (Bitset.create n) in
+  let next = ref (Bitset.create n) in
   let scratch = Bitset.create n in
-  Bitset.add current source;
+  Bitset.add !current source;
   let sizes = ref [ 1 ] and candidate_sizes = ref [] in
   let rounds = ref 0 in
   let result = ref None in
@@ -21,14 +21,16 @@ let run_loop g rng ~branching ~lazy_ ~max_rounds ~record ~source =
      else
        while !rounds < max_rounds do
          if record then begin
-           Process.bips_candidate_set g ~source ~current ~into:scratch;
+           Process.bips_candidate_set g ~source ~current:!current ~into:scratch;
            candidate_sizes := Bitset.cardinal scratch :: !candidate_sizes
          end;
          incr rounds;
-         Process.bips_step g rng ~branching ~lazy_ ~source ~current ~next;
-         Bitset.blit ~src:next ~dst:current;
-         if record then sizes := Bitset.cardinal current :: !sizes;
-         if Bitset.cardinal current = n then begin
+         Process.bips_step g rng ~branching ~lazy_ ~source ~current:!current ~next:!next;
+         let tmp = !current in
+         current := !next;
+         next := tmp;
+         if record then sizes := Bitset.cardinal !current :: !sizes;
+         if Bitset.cardinal !current = n then begin
            result := Some !rounds;
            raise Exit
          end
@@ -63,11 +65,13 @@ let infected_after g rng ?(branching = Process.Fixed 2) ?(lazy_ = false) ~rounds
   Process.validate_branching branching;
   if rounds < 0 then invalid_arg "Bips.infected_after: negative round count";
   let n = Graph.n g in
-  let current = Bitset.create n in
-  let next = Bitset.create n in
-  Bitset.add current source;
+  let current = ref (Bitset.create n) in
+  let next = ref (Bitset.create n) in
+  Bitset.add !current source;
   for _ = 1 to rounds do
-    Process.bips_step g rng ~branching ~lazy_ ~source ~current ~next;
-    Bitset.blit ~src:next ~dst:current
+    Process.bips_step g rng ~branching ~lazy_ ~source ~current:!current ~next:!next;
+    let tmp = !current in
+    current := !next;
+    next := tmp
   done;
-  current
+  !current

@@ -21,10 +21,13 @@ let check_start g start =
 
 let run_loop g rng ~obs ~branching ~lazy_ ~max_rounds ~record ~start =
   let n = Graph.n g in
-  let current = Bitset.create n in
-  let next = Bitset.create n in
+  (* Double buffer: the step writes into [next], then the roles swap —
+     no per-round O(n/word) copy.  [next]'s stale contents are cleared
+     by the step itself. *)
+  let current = ref (Bitset.create n) in
+  let next = ref (Bitset.create n) in
   let visited = Bitset.create n in
-  Bitset.add current start;
+  Bitset.add !current start;
   Bitset.add visited start;
   let transmissions = ref 0 in
   let visited_sizes = ref [ 1 ] and active_sizes = ref [ 1 ] in
@@ -38,13 +41,17 @@ let run_loop g rng ~obs ~branching ~lazy_ ~max_rounds ~record ~start =
          incr rounds;
          if observing then
            Cobra_obs.Obs.emit obs (Cobra_obs.Trace.Round_started { round = !rounds });
-         let sent = Process.cobra_step g rng ~branching ~lazy_ ~current ~next in
+         let sent =
+           Process.cobra_step g rng ~branching ~lazy_ ~current:!current ~next:!next
+         in
          transmissions := !transmissions + sent;
-         Bitset.blit ~src:next ~dst:current;
-         Bitset.union_into ~into:visited current;
+         let tmp = !current in
+         current := !next;
+         next := tmp;
+         Bitset.union_into ~into:visited !current;
          if record then begin
            visited_sizes := Bitset.cardinal visited :: !visited_sizes;
-           active_sizes := Bitset.cardinal current :: !active_sizes
+           active_sizes := Bitset.cardinal !current :: !active_sizes
          end;
          if observing then
            Cobra_obs.Obs.emit obs
@@ -52,7 +59,7 @@ let run_loop g rng ~obs ~branching ~lazy_ ~max_rounds ~record ~start =
                 {
                   round = !rounds;
                   informed = Bitset.cardinal visited;
-                  active = Bitset.cardinal current;
+                  active = Bitset.cardinal !current;
                   messages = sent;
                 });
          if Bitset.cardinal visited = n then begin
@@ -100,16 +107,18 @@ let hitting_time g rng ?(branching = Process.Fixed 2) ?(lazy_ = false) ?max_roun
   let max_rounds = Option.value max_rounds ~default:(default_max_rounds g) in
   if Bitset.mem start target then Some 0
   else begin
-    let current = Bitset.copy start in
-    let next = Bitset.create (Graph.n g) in
+    let current = ref (Bitset.copy start) in
+    let next = ref (Bitset.create (Graph.n g)) in
     let rounds = ref 0 in
     let result = ref None in
     (try
        while !rounds < max_rounds do
          incr rounds;
-         ignore (Process.cobra_step g rng ~branching ~lazy_ ~current ~next : int);
-         Bitset.blit ~src:next ~dst:current;
-         if Bitset.mem current target then begin
+         ignore (Process.cobra_step g rng ~branching ~lazy_ ~current:!current ~next:!next : int);
+         let tmp = !current in
+         current := !next;
+         next := tmp;
+         if Bitset.mem !current target then begin
            result := Some !rounds;
            raise Exit
          end

@@ -20,20 +20,35 @@ let draw_fanout rng = function
   | Bernoulli rho -> if Rng.bernoulli rng rho then 2 else 1
 
 let select g rng ~lazy_ u =
-  if lazy_ && Rng.bool rng then u else Graph.random_neighbor g rng u
+  (* [u] comes from a frontier or a 0..n-1 loop, always in range. *)
+  if lazy_ && Rng.bool rng then u else Graph.unsafe_random_neighbor g rng u
+
+(* Below this cardinality the frontier is materialised as a vertex array
+   and iterated directly — a tight counted loop instead of the word-scan
+   iterator's nested loop and closure call per member.  Members come out
+   in the same increasing order either way, so the RNG draw sequence is
+   identical on both paths. *)
+let sparse_frontier_threshold = 64
 
 let cobra_step g rng ~branching ~lazy_ ~current ~next =
-  validate_branching branching;
   Bitset.clear next;
   let transmissions = ref 0 in
-  Bitset.iter
-    (fun u ->
-      let fanout = draw_fanout rng branching in
-      for _ = 1 to fanout do
-        Bitset.add next (select g rng ~lazy_ u);
-        incr transmissions
-      done)
-    current;
+  let visit u =
+    let fanout = draw_fanout rng branching in
+    for _ = 1 to fanout do
+      (* Safe: [select] returns a vertex of [g], in range for [next]. *)
+      Bitset.unsafe_add next (select g rng ~lazy_ u)
+    done;
+    transmissions := !transmissions + fanout
+  in
+  let c = Bitset.cardinal current in
+  if c > 0 && c <= sparse_frontier_threshold then begin
+    let members = Bitset.to_array current in
+    for i = 0 to Array.length members - 1 do
+      visit members.(i)
+    done
+  end
+  else Bitset.iter visit current;
   !transmissions
 
 let cobra_step_without_replacement g rng ~b ~current ~next =
@@ -66,7 +81,6 @@ let cobra_step_without_replacement g rng ~b ~current ~next =
   !transmissions
 
 let bips_step g rng ~branching ~lazy_ ~source ~current ~next =
-  validate_branching branching;
   Bitset.clear next;
   let n = Graph.n g in
   for u = 0 to n - 1 do
@@ -80,13 +94,12 @@ let bips_step g rng ~branching ~lazy_ ~source ~current ~next =
            and reproducibility across variants is worth two extra calls. *)
         if Bitset.mem current (select g rng ~lazy_ u) then infected := true
       done;
-      if !infected then Bitset.add next u
+      if !infected then Bitset.unsafe_add next u
     end
   done;
   Bitset.add next source
 
 let sis_step g rng ~branching ~lazy_ ~current ~next =
-  validate_branching branching;
   Bitset.clear next;
   let n = Graph.n g in
   for u = 0 to n - 1 do
@@ -95,7 +108,7 @@ let sis_step g rng ~branching ~lazy_ ~current ~next =
     for _ = 1 to fanout do
       if Bitset.mem current (select g rng ~lazy_ u) then infected := true
     done;
-    if !infected then Bitset.add next u
+    if !infected then Bitset.unsafe_add next u
   done
 
 let bips_candidate_set g ~source ~current ~into =

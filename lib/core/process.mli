@@ -36,11 +36,24 @@ type branching =
   | Fixed of int  (** [b] independent uniform neighbour choices. *)
   | Bernoulli of float
       (** [Bernoulli rho]: two choices with probability [rho], one
-          otherwise — expected branching factor [1 + rho]. *)
+          otherwise — expected branching factor [1 + rho].
+
+          Stream alignment at the extremes: the split decision is drawn
+          with {!Cobra_prng.Rng.bernoulli}, which consumes no randomness
+          when the probability is 0 or 1.  Consequently a [Bernoulli 1.0]
+          run is draw-for-draw identical to [Fixed 2], and
+          [Bernoulli 0.0] to [Fixed 1], under the same seed — a guarantee
+          tested in the suite and safe to rely on when comparing
+          variants. *)
 
 val validate_branching : branching -> unit
 (** @raise Invalid_argument on [Fixed b] with [b < 1] or
-    [Bernoulli rho] with [rho] outside [[0, 1]]. *)
+    [Bernoulli rho] with [rho] outside [[0, 1]].
+
+    The step functions below do {e not} validate: they sit in the
+    per-round hot loop, so the run entry points ({!Cobra}, {!Bips},
+    {!Sis}) call this once per run instead.  Code driving the steps
+    directly with untrusted parameters should do the same. *)
 
 val expected_branching_factor : branching -> float
 (** [Fixed b -> float b]; [Bernoulli rho -> 1 + rho]. *)

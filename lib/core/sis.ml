@@ -8,14 +8,14 @@ let run_loop g rng ~branching ~lazy_ ~max_rounds ~record ~initial =
   if Bitset.capacity initial <> n then
     invalid_arg "Sis: initial set capacity does not match the graph";
   Process.validate_branching branching;
-  let current = Bitset.copy initial in
-  let next = Bitset.create n in
-  let sizes = ref [ Bitset.cardinal current ] in
+  let current = ref (Bitset.copy initial) in
+  let next = ref (Bitset.create n) in
+  let sizes = ref [ Bitset.cardinal !current ] in
   let rounds = ref 0 in
   let outcome = ref Censored in
   (try
      let classify () =
-       let c = Bitset.cardinal current in
+       let c = Bitset.cardinal !current in
        if c = 0 then begin
          outcome := Extinct !rounds;
          raise Exit
@@ -28,9 +28,11 @@ let run_loop g rng ~branching ~lazy_ ~max_rounds ~record ~initial =
      classify ();
      while !rounds < max_rounds do
        incr rounds;
-       Process.sis_step g rng ~branching ~lazy_ ~current ~next;
-       Bitset.blit ~src:next ~dst:current;
-       if record then sizes := Bitset.cardinal current :: !sizes;
+       Process.sis_step g rng ~branching ~lazy_ ~current:!current ~next:!next;
+       let tmp = !current in
+       current := !next;
+       next := tmp;
+       if record then sizes := Bitset.cardinal !current :: !sizes;
        classify ()
      done
    with Exit -> ());

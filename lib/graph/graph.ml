@@ -109,6 +109,16 @@ let neighbor t u i =
     invalid_arg (Printf.sprintf "Graph.neighbor: index %d out of range [0, %d)" i d);
   t.adj.(t.offsets.(u) + i)
 
+(* No vertex-range or isolation check and no array bounds checks: the
+   simulation step loops call this once per transmission with vertices
+   that are in range by construction.  Draws exactly the same single
+   [int_below] as [random_neighbor].  An isolated vertex makes
+   [int_below] raise on 0. *)
+let[@inline] unsafe_random_neighbor t rng u =
+  let lo = Array.unsafe_get t.offsets u in
+  let d = Array.unsafe_get t.offsets (u + 1) - lo in
+  Array.unsafe_get t.adj (lo + Cobra_prng.Rng.int_below rng d)
+
 let random_neighbor t rng u =
   check_vertex t u;
   let lo = t.offsets.(u) in

@@ -49,6 +49,12 @@ val random_neighbor : t -> Cobra_prng.Rng.t -> int -> int
 (** [random_neighbor g rng u] is a uniformly random neighbour of [u].
     @raise Invalid_argument if [u] is isolated. *)
 
+val unsafe_random_neighbor : t -> Cobra_prng.Rng.t -> int -> int
+(** [random_neighbor] without the vertex-range and isolation checks,
+    for per-transmission kernel loops whose vertices are in range by
+    construction.  Consumes exactly the same RNG draw as
+    [random_neighbor]; out-of-range [u] is undefined behaviour. *)
+
 val neighbors : t -> int -> int array
 (** Fresh array of the neighbours of [u], increasing order. *)
 

@@ -14,10 +14,18 @@ type t = {
   mutable active : bool;
 }
 
-(* Each worker spins on its own mailbox slot with a cpu_relax backoff.
-   A condition-variable design would sleep better between loops, but the
-   experiment workloads keep the pool saturated, and per-slot mailboxes
-   avoid a contended lock on every chunk claim. *)
+(* Each worker spins on its own mailbox slot.  Per-slot mailboxes avoid
+   a contended lock on every chunk claim; idleness is handled with an
+   exponential backoff below rather than a condition variable, so an
+   idle pool costs microsleeps instead of pinning a core per worker. *)
+
+(* Pure cpu_relax spins while the pool is hot (a job typically lands
+   within the spin budget), then short sleeps whose duration doubles up
+   to [max_idle_sleep].  The cap keeps wake-up latency for a new burst
+   of jobs bounded at a fraction of a millisecond. *)
+let spin_budget = 512
+let initial_idle_sleep = 1e-6
+let max_idle_sleep = 2e-4
 
 let run_job job =
   let exception Stop in
@@ -41,13 +49,26 @@ let run_job job =
 
 let worker_loop mailbox stop =
   let continue_ = ref true in
+  let idle_spins = ref 0 in
+  let idle_sleep = ref initial_idle_sleep in
   while !continue_ do
     match Atomic.get mailbox with
     | Some job as seen ->
+        idle_spins := 0;
+        idle_sleep := initial_idle_sleep;
         (* CAS so that the submitting thread clearing a stale mailbox and
            this worker cannot both account for the same slot. *)
         if Atomic.compare_and_set mailbox seen None then run_job job
-    | None -> if Atomic.get stop then continue_ := false else Domain.cpu_relax ()
+    | None ->
+        if Atomic.get stop then continue_ := false
+        else if !idle_spins < spin_budget then begin
+          incr idle_spins;
+          Domain.cpu_relax ()
+        end
+        else begin
+          Unix.sleepf !idle_sleep;
+          idle_sleep := Float.min max_idle_sleep (!idle_sleep *. 2.0)
+        end
   done
 
 let create ?num_domains () =

@@ -30,7 +30,9 @@ val bool : t -> bool
 (** See {!Xoshiro.bool}. *)
 
 val bernoulli : t -> float -> bool
-(** See {!Xoshiro.bernoulli}. *)
+(** See {!Xoshiro.bernoulli}.  In particular, degenerate probabilities
+    ([p <= 0.0] or [p >= 1.0]) consume no randomness, so streams stay
+    aligned with code paths that skip the draw entirely. *)
 
 val shuffle_in_place : t -> 'a array -> unit
 (** See {!Xoshiro.shuffle_in_place}. *)

@@ -35,7 +35,15 @@ val bool : t -> bool
 (** [bool t] is a fair coin flip. *)
 
 val bernoulli : t -> float -> bool
-(** [bernoulli t p] is [true] with probability [p] (clamped to [0, 1]). *)
+(** [bernoulli t p] is [true] with probability [p] (clamped to [0, 1]).
+
+    Stream contract: when [p >= 1.0] or [p <= 0.0] the outcome is
+    certain and {e no state is consumed} — the generator's subsequent
+    draws are exactly as if [bernoulli] had not been called.  Callers
+    rely on this to align streams across process variants (e.g. a
+    COBRA run with [Bernoulli 1.0] branching replays draw-for-draw as
+    [Fixed 2]); treat it as part of the interface, not an
+    implementation detail. *)
 
 val jump : t -> unit
 (** [jump t] advances [t] by 2{^128} steps in place.  Splitting one stream

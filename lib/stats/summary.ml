@@ -64,8 +64,12 @@ let of_array xs =
   stats t
 
 let mean_confidence95 s =
-  if s.count < 2 then 0.0 else 1.96 *. s.stddev /. sqrt (float_of_int s.count)
+  (* With fewer than two observations there is no variance estimate; a
+     half-width of 0 would read as "exact", so report nan instead. *)
+  if s.count < 2 then nan else 1.96 *. s.stddev /. sqrt (float_of_int s.count)
 
 let pp ppf s =
-  Format.fprintf ppf "%.2f ± %.2f (%.0f .. %.0f, %d trials)" s.mean (mean_confidence95 s) s.min
-    s.max s.count
+  let ci = mean_confidence95 s in
+  if Float.is_nan ci then
+    Format.fprintf ppf "%.2f ± n/a (%.0f .. %.0f, %d trials)" s.mean s.min s.max s.count
+  else Format.fprintf ppf "%.2f ± %.2f (%.0f .. %.0f, %d trials)" s.mean ci s.min s.max s.count

@@ -34,7 +34,10 @@ val of_array : float array -> stats
 
 val mean_confidence95 : stats -> float
 (** Half-width of the normal-approximation 95% confidence interval for
-    the mean: [1.96 * stddev / sqrt count]; 0 when [count < 2]. *)
+    the mean: [1.96 * stddev / sqrt count].  [nan] when [count < 2] —
+    a single observation carries no spread information, and 0 would
+    falsely claim an exact estimate. *)
 
 val pp : Format.formatter -> stats -> unit
-(** Renders as [mean ± ci95 (min .. max, k trials)]. *)
+(** Renders as [mean ± ci95 (min .. max, k trials)]; the half-width
+    prints as [n/a] when it is unavailable ([count < 2]). *)

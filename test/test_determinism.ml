@@ -1,0 +1,176 @@
+(* Golden determinism tests.
+
+   The simulation kernels (Bitset iteration/sampling, Process steps, the
+   Cobra/Bips/Sis run loops) are performance-tuned under a hard contract:
+   for a fixed seed they must draw RNG values in exactly the same order,
+   and therefore produce bit-identical runs, as the straightforward
+   implementations they replaced.  These tests pin entire run
+   fingerprints (round counts, transmission counts and trajectory
+   hashes) to golden values recorded from the pre-optimisation kernels,
+   across graph families and branching variants.
+
+   Run the executable with `--dump` to print the current fingerprints in
+   the form of the [goldens] list below; only update the list when a
+   change to the RNG draw order is both intended and understood. *)
+
+module Gen = Cobra_graph.Gen
+module Bitset = Cobra_bitset.Bitset
+module Rng = Cobra_prng.Rng
+module Process = Cobra_core.Process
+module Cobra = Cobra_core.Cobra
+module Bips = Cobra_core.Bips
+module Sis = Cobra_core.Sis
+
+(* Order-sensitive polynomial hash, kept in the non-negative int range. *)
+let hash_ints init xs = Array.fold_left (fun h x -> ((h * 1000003) + x) land max_int) init xs
+
+let cobra_fp g ~seed ~branching ~lazy_ =
+  let rng = Rng.create seed in
+  match Cobra.run_cover_detailed g rng ~branching ~lazy_ ~start:0 () with
+  | None -> "censored"
+  | Some (r : Cobra.run) ->
+      Printf.sprintf "rounds=%d tx=%d vh=%d ah=%d" r.rounds r.transmissions
+        (hash_ints 17 r.visited_sizes) (hash_ints 17 r.active_sizes)
+
+let hitting_fp g ~seed ~start ~target =
+  let rng = Rng.create seed in
+  let start = Bitset.of_list (Cobra_graph.Graph.n g) start in
+  match Cobra.hitting_time g rng ~start ~target () with
+  | None -> "censored"
+  | Some t -> Printf.sprintf "hit=%d" t
+
+let bips_fp g ~seed ~branching ~lazy_ =
+  let rng = Rng.create seed in
+  match Bips.run_trajectory g rng ~branching ~lazy_ ~source:0 () with
+  | None -> "censored"
+  | Some (t : Bips.trajectory) ->
+      Printf.sprintf "rounds=%d sh=%d ch=%d" t.rounds (hash_ints 17 t.sizes)
+        (hash_ints 17 t.candidate_sizes)
+
+let sis_fp g ~seed ~initial =
+  let rng = Rng.create seed in
+  let initial = Bitset.of_list (Cobra_graph.Graph.n g) initial in
+  let outcome, sizes = Sis.run_trajectory g rng ~initial () in
+  let o =
+    match outcome with
+    | Sis.Extinct r -> Printf.sprintf "extinct@%d" r
+    | Sis.Saturated r -> Printf.sprintf "saturated@%d" r
+    | Sis.Censored -> "censored"
+  in
+  Printf.sprintf "%s sh=%d" o (hash_ints 17 sizes)
+
+let without_replacement_fp g ~seed ~rounds =
+  let rng = Rng.create seed in
+  let n = Cobra_graph.Graph.n g in
+  let current = Bitset.of_list n [ 0 ] and next = Bitset.create n in
+  let h = ref 17 and tx = ref 0 in
+  for _ = 1 to rounds do
+    tx := !tx + Process.cobra_step_without_replacement g rng ~b:2 ~current ~next;
+    Bitset.blit ~src:next ~dst:current;
+    h := hash_ints !h (Bitset.to_array current)
+  done;
+  Printf.sprintf "tx=%d h=%d" !tx !h
+
+(* Graph instances are fixed once; generator randomness uses its own
+   dedicated seeds so case fingerprints depend only on the run seed. *)
+let hypercube6 = Gen.hypercube 6
+let torus8 = Gen.torus ~dims:[ 8; 8 ]
+let cycle63 = Gen.cycle 63 (* capacity on a bitset word boundary *)
+let complete33 = Gen.complete 33
+let lollipop16 = Gen.lollipop ~clique:16 ~tail:17
+let regular4_64 = Gen.random_regular ~n:64 ~r:4 (Rng.create 42)
+let petersen = Gen.petersen ()
+
+let cases =
+  [
+    ("cobra hypercube6 b=2", fun () -> cobra_fp hypercube6 ~seed:101 ~branching:(Process.Fixed 2) ~lazy_:false);
+    ("cobra hypercube6 b=1", fun () -> cobra_fp hypercube6 ~seed:102 ~branching:(Process.Fixed 1) ~lazy_:false);
+    ("cobra torus8 b=2", fun () -> cobra_fp torus8 ~seed:103 ~branching:(Process.Fixed 2) ~lazy_:false);
+    ("cobra torus8 rho=0.5", fun () -> cobra_fp torus8 ~seed:104 ~branching:(Process.Bernoulli 0.5) ~lazy_:false);
+    ("cobra cycle63 b=2", fun () -> cobra_fp cycle63 ~seed:105 ~branching:(Process.Fixed 2) ~lazy_:false);
+    ("cobra complete33 b=2", fun () -> cobra_fp complete33 ~seed:106 ~branching:(Process.Fixed 2) ~lazy_:false);
+    ("cobra lollipop16 b=2 lazy", fun () -> cobra_fp lollipop16 ~seed:107 ~branching:(Process.Fixed 2) ~lazy_:true);
+    ("cobra regular4-64 b=3", fun () -> cobra_fp regular4_64 ~seed:108 ~branching:(Process.Fixed 3) ~lazy_:false);
+    ("cobra regular4-64 rho=0.25 lazy", fun () -> cobra_fp regular4_64 ~seed:109 ~branching:(Process.Bernoulli 0.25) ~lazy_:true);
+    ("hitting torus8 {0,5}->37", fun () -> hitting_fp torus8 ~seed:110 ~start:[ 0; 5 ] ~target:37);
+    ("bips hypercube6 b=2", fun () -> bips_fp hypercube6 ~seed:111 ~branching:(Process.Fixed 2) ~lazy_:false);
+    ("bips regular4-64 rho=0.5", fun () -> bips_fp regular4_64 ~seed:112 ~branching:(Process.Bernoulli 0.5) ~lazy_:false);
+    ("sis petersen {0,3}", fun () -> sis_fp petersen ~seed:113 ~initial:[ 0; 3 ]);
+    ("without-replacement regular4-64", fun () -> without_replacement_fp regular4_64 ~seed:114 ~rounds:10);
+  ]
+
+(* Golden fingerprints recorded from the pre-overhaul kernels (naive
+   bit-position scan, Kernighan popcount, blit-based double buffering). *)
+let goldens =
+  [
+    ("cobra hypercube6 b=2", "rounds=18 tx=648 vh=3120599584409585267 ah=1913051902766680728");
+    ("cobra hypercube6 b=1", "rounds=371 tx=371 vh=2760857257187678709 ah=2908620302129387305");
+    ("cobra torus8 b=2", "rounds=14 tx=382 vh=3382088494225040947 ah=4269205526142410250");
+    ("cobra torus8 rho=0.5", "rounds=37 tx=532 vh=109494673368098345 ah=3945428372495495510");
+    ("cobra cycle63 b=2", "rounds=68 tx=1884 vh=3980022990633351199 ah=403722297397082366");
+    ("cobra complete33 b=2", "rounds=7 tx=126 vh=192245933757434317 ah=1460053766362799388");
+    ("cobra lollipop16 b=2 lazy", "rounds=43 tx=1392 vh=2791285245653955524 ah=3517036198693714690");
+    ("cobra regular4-64 b=3", "rounds=9 tx=591 vh=4150945407640371785 ah=3805471154177216517");
+    ("cobra regular4-64 rho=0.25 lazy", "rounds=49 tx=685 vh=2997666809807422842 ah=438059867749807446");
+    ("hitting torus8 {0,5}->37", "hit=7");
+    ("bips hypercube6 b=2", "rounds=10 sh=2782120981871621009 ch=2728677701870901673");
+    ("bips regular4-64 rho=0.5", "rounds=19 sh=1303207243444247840 ch=4231581553203299840");
+    ("sis petersen {0,3}", "saturated@6 sh=2057568817579931575");
+    ("without-replacement regular4-64", "tx=446 h=1781576821614043868");
+  ]
+
+let dump () =
+  List.iter (fun (name, fp) -> Printf.printf "    (%S, %S);\n" name (fp ())) cases
+
+let test_golden (name, fp) golden () = Alcotest.(check string) name golden (fp ())
+
+(* --- RNG stream alignment across branching variants ---
+
+   [Rng.bernoulli] consumes no state at p = 0 or p = 1 (see rng.mli), so
+   a [Bernoulli 1.0] run must replay draw-for-draw as [Fixed 2] and
+   [Bernoulli 0.0] as [Fixed 1] — whole runs, not just distributions. *)
+
+let check_variant_alignment g ~seed ~lazy_ ~degenerate ~fixed () =
+  let fp branching = cobra_fp g ~seed ~branching ~lazy_ in
+  Alcotest.(check string) "degenerate Bernoulli replays as Fixed" (fp (Process.Fixed fixed))
+    (fp (Process.Bernoulli degenerate))
+
+let test_bernoulli_degenerate_consumes_nothing () =
+  let rng = Rng.create 2024 in
+  let witness = Cobra_prng.Xoshiro.copy rng in
+  Alcotest.(check bool) "p=1 is true" true (Rng.bernoulli rng 1.0);
+  Alcotest.(check bool) "p=0 is false" false (Rng.bernoulli rng 0.0);
+  for i = 1 to 100 do
+    Alcotest.(check int)
+      (Printf.sprintf "draw %d aligned" i)
+      (Rng.int_below witness 1_000_003) (Rng.int_below rng 1_000_003)
+  done
+
+let alignment_tests =
+  [
+    Alcotest.test_case "bernoulli p∈{0,1} consumes no state" `Quick
+      test_bernoulli_degenerate_consumes_nothing;
+    Alcotest.test_case "Bernoulli 1.0 ≡ Fixed 2 (hypercube)" `Quick
+      (check_variant_alignment hypercube6 ~seed:201 ~lazy_:false ~degenerate:1.0 ~fixed:2);
+    Alcotest.test_case "Bernoulli 0.0 ≡ Fixed 1 (torus)" `Quick
+      (check_variant_alignment torus8 ~seed:202 ~lazy_:false ~degenerate:0.0 ~fixed:1);
+    Alcotest.test_case "Bernoulli 1.0 ≡ Fixed 2 (lollipop, lazy)" `Quick
+      (check_variant_alignment lollipop16 ~seed:203 ~lazy_:true ~degenerate:1.0 ~fixed:2);
+  ]
+
+let () =
+  if Array.exists (( = ) "--dump") Sys.argv then dump ()
+  else begin
+    if List.length goldens <> List.length cases then
+      failwith "test_determinism: goldens out of sync with cases (run with --dump)";
+    Alcotest.run "determinism"
+      [
+        ( "golden runs",
+          List.map2
+            (fun (name, fp) (gname, golden) ->
+              if name <> gname then failwith "test_determinism: case/golden order mismatch";
+              Alcotest.test_case name `Quick (test_golden (name, fp) golden))
+            cases goldens );
+        ("stream alignment", alignment_tests);
+      ]
+  end

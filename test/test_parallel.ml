@@ -82,6 +82,32 @@ let test_create_validation () =
     (Invalid_argument "Pool.create: num_domains must be >= 0") (fun () ->
       ignore (Pool.create ~num_domains:(-1) ()))
 
+(* Workers back off to microsleeps when idle; a burst of jobs after a
+   long idle period must still be picked up promptly and correctly. *)
+let test_idle_then_burst () =
+  Pool.with_pool ~num_domains:3 (fun pool ->
+      (* Warm the pool, then leave it idle long past the spin budget so
+         every worker is deep in the sleep phase of its backoff. *)
+      Pool.parallel_for pool ~lo:0 ~hi:100 (fun _ -> ());
+      Unix.sleepf 0.05;
+      for round = 1 to 5 do
+        let n = 5_000 in
+        let hits = Array.make n 0 in
+        let t0 = Unix.gettimeofday () in
+        Pool.parallel_for pool ~lo:0 ~hi:n (fun i -> hits.(i) <- hits.(i) + 1);
+        let elapsed = Unix.gettimeofday () -. t0 in
+        Array.iteri
+          (fun i c ->
+            if c <> 1 then
+              Alcotest.failf "round %d: index %d executed %d times after idle" round i c)
+          hits;
+        (* Generous bound: wake-up latency is capped at max_idle_sleep
+           (0.2 ms per worker), so even a loaded CI box finishes a burst
+           in well under a second. *)
+        check_bool (Printf.sprintf "round %d wakes up promptly" round) true (elapsed < 1.0);
+        if round < 5 then Unix.sleepf 0.02
+      done)
+
 (* The determinism contract: parallel = serial, for any domain count. *)
 let test_montecarlo_schedule_independence () =
   let work ~trial rng =
@@ -148,6 +174,7 @@ let () =
           Alcotest.test_case "shutdown idempotent" `Quick test_shutdown_idempotent;
           Alcotest.test_case "chunk validation" `Quick test_chunk_validation;
           Alcotest.test_case "create validation" `Quick test_create_validation;
+          Alcotest.test_case "idle backoff then burst" `Quick test_idle_then_burst;
         ] );
       ( "montecarlo",
         [

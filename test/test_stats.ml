@@ -30,7 +30,7 @@ let test_summary_empty_and_single () =
   let one = Summary.of_array [| 42.0 |] in
   check_float "single mean" 42.0 one.mean;
   check_float "single variance" 0.0 one.variance;
-  check_float "ci95 for n<2" 0.0 (Summary.mean_confidence95 one)
+  check_bool "ci95 for n<2 unavailable" true (Float.is_nan (Summary.mean_confidence95 one))
 
 let test_summary_merge () =
   let xs = Array.init 100 (fun i -> float_of_int (i * i) /. 7.0) in
@@ -61,7 +61,17 @@ let test_summary_merge_empty () =
 let test_summary_pp () =
   let s = Summary.of_array [| 1.0; 2.0; 3.0 |] in
   let str = Format.asprintf "%a" Summary.pp s in
-  check_bool "pp nonempty" true (String.length str > 10)
+  check_bool "pp nonempty" true (String.length str > 10);
+  (* A single trial has no spread estimate: render as unavailable, not
+     as a confidently exact "± 0.00". *)
+  let contains ~sub s =
+    let n = String.length s and m = String.length sub in
+    let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+    go 0
+  in
+  let single = Format.asprintf "%a" Summary.pp (Summary.of_array [| 42.0 |]) in
+  check_bool "pp single-trial shows n/a" true (contains ~sub:"n/a" single);
+  check_bool "pp single-trial hides fake zero width" false (contains ~sub:"0.00" single)
 
 (* --- Quantile --- *)
 
