@@ -184,7 +184,7 @@ let cobra_step_list_based g rng current =
         if not (List.mem v !next) then next := v :: !next
       done)
     current;
-  List.sort compare !next
+  List.sort Int.compare !next
 
 let ablation_kernels =
   [
@@ -248,7 +248,9 @@ let run_benchmarks ~quick () =
   Printf.printf "%s\n" (String.make 66 '-');
   let rows = Hashtbl.fold (fun name ols acc -> (name, ols) :: acc) results [] in
   let rows =
-    List.sort compare
+    List.sort
+      (fun (a, ta) (b, tb) ->
+        match String.compare a b with 0 -> Float.compare ta tb | c -> c)
       (List.map
          (fun (name, ols) ->
            let t = match Analyze.OLS.estimates ols with Some [ t ] -> t | _ -> nan in

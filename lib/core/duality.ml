@@ -28,12 +28,14 @@ let check ~pool ~master_seed ~trials ?(branching = Process.Fixed 2) ?(lazy_ = fa
   in
   let mean xs = Array.fold_left ( +. ) 0.0 xs /. float_of_int (Array.length xs) in
   let cobra_hits =
-    Cobra_parallel.Montecarlo.run ~pool ~master_seed ~trials cobra_side
+    Cobra_parallel.Montecarlo.run ~codec:Cobra_parallel.Journal.float_ ~pool ~master_seed
+      ~trials cobra_side
   in
   (* Decorrelate the two ensembles: derive an independent master seed for
      the BIPS side so trial i of each ensemble shares no randomness. *)
   let bips_hits =
-    Cobra_parallel.Montecarlo.run ~pool ~master_seed:(master_seed + 0x5EED) ~trials bips_side
+    Cobra_parallel.Montecarlo.run ~codec:Cobra_parallel.Journal.float_ ~pool
+      ~master_seed:(master_seed + 0x5EED) ~trials bips_side
   in
   let p1 = mean cobra_hits and p2 = mean bips_hits in
   let nf = float_of_int trials in

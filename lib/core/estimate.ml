@@ -26,10 +26,16 @@ let start_heuristic g =
   far_from (far_from 0)
 
 (* Gather per-trial (value, transmissions) observations, where a negative
-   value marks a censored trial. *)
+   value marks a censored trial.  The codec lets a harness-level journal
+   checkpoint and replay individual trials (see Montecarlo.with_context). *)
+let trial_codec =
+  Cobra_parallel.Journal.(pair float_ float_)
+
 let collect ?obs ~pool ~master_seed ~trials run_one =
   if trials < 1 then invalid_arg "Estimate: trials must be >= 1";
-  let obs = Cobra_parallel.Montecarlo.run ?obs ~pool ~master_seed ~trials run_one in
+  let obs =
+    Cobra_parallel.Montecarlo.run ?obs ~codec:trial_codec ~pool ~master_seed ~trials run_one
+  in
   let completed = Array.of_list (List.filter (fun (v, _) -> v >= 0.0) (Array.to_list obs)) in
   let censored = trials - Array.length completed in
   if Array.length completed = 0 then

@@ -2,10 +2,21 @@ module Graph = Cobra_graph.Graph
 
 type observation = { size_before : int; size_after : int; candidate_size : int }
 
+let observation_codec =
+  Cobra_parallel.Journal.(
+    array
+      (conv
+         (fun { size_before; size_after; candidate_size } ->
+           (size_before, size_after, candidate_size))
+         (fun (size_before, size_after, candidate_size) ->
+           { size_before; size_after; candidate_size })
+         (triple int_ int_ int_)))
+
 let sample ~pool ~master_seed ~trajectories ?branching ?lazy_ ?max_rounds ?(source = 0) g =
   if trajectories < 1 then invalid_arg "Growth.sample: trajectories must be >= 1";
   let per_trial =
-    Cobra_parallel.Montecarlo.run ~pool ~master_seed ~trials:trajectories (fun ~trial rng ->
+    Cobra_parallel.Montecarlo.run ~codec:observation_codec ~pool ~master_seed
+      ~trials:trajectories (fun ~trial rng ->
         ignore trial;
         match Bips.run_trajectory g rng ?branching ?lazy_ ?max_rounds ~source () with
         | Some t ->

@@ -25,8 +25,19 @@ let run ~obs ~pool ~master_seed ~scale =
       let lambda = Common.lambda_of g in
       let gap = 1.0 -. lambda in
       let threshold = Phases.default_small_threshold ~n:n_real ~lambda in
+      let split_codec =
+        Cobra_parallel.Journal.(
+          option
+            (conv
+               (fun { Phases.start_rounds; bulk_rounds; tail_rounds; small_threshold } ->
+                 ((start_rounds, bulk_rounds), (tail_rounds, small_threshold)))
+               (fun ((start_rounds, bulk_rounds), (tail_rounds, small_threshold)) ->
+                 { Phases.start_rounds; bulk_rounds; tail_rounds; small_threshold })
+               (pair (pair int_ int_) (pair int_ int_))))
+      in
       let splits =
-        Cobra_parallel.Montecarlo.run ~obs ~pool ~master_seed ~trials:trajectories (fun ~trial rng ->
+        Cobra_parallel.Montecarlo.run ~obs ~codec:split_codec ~pool ~master_seed
+          ~trials:trajectories (fun ~trial rng ->
             ignore trial;
             match Bips.run_trajectory g rng ~source:0 () with
             | Some traj -> Some (Phases.split ~n:n_real ~small_threshold:threshold ~sizes:traj.sizes)

@@ -47,7 +47,9 @@ let run ~obs ~pool ~master_seed ~scale =
       List.iter
         (fun proto ->
           let results =
-            Cobra_parallel.Montecarlo.run ~obs ~pool
+            Cobra_parallel.Montecarlo.run ~obs
+              ~codec:Cobra_parallel.Journal.(option (pair float_ float_))
+              ~pool
               ~master_seed:(master_seed + Hashtbl.hash proto.pname)
               ~trials
               (fun ~trial rng ->

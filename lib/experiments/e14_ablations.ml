@@ -33,7 +33,9 @@ let cover_without_replacement g rng ~start ~max_rounds =
 
 let mc ~obs ~pool ~master_seed ~trials f =
   let obs =
-    Cobra_parallel.Montecarlo.run ~obs ~pool ~master_seed ~trials (fun ~trial rng ->
+    Cobra_parallel.Montecarlo.run ~obs
+      ~codec:Cobra_parallel.Journal.(option int_)
+      ~pool ~master_seed ~trials (fun ~trial rng ->
         ignore trial;
         f rng)
   in

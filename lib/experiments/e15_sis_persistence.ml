@@ -36,8 +36,9 @@ let run ~obs ~pool ~master_seed ~scale =
       let exact_p = Sis_chain.saturation_probability chain ~initial:1 in
       let exact_t = Sis_chain.expected_absorption_time chain ~initial:1 in
       let results =
-        Cobra_parallel.Montecarlo.run ~obs ~pool ~master_seed:(master_seed + Hashtbl.hash name)
-          ~trials (fun ~trial rng ->
+        Cobra_parallel.Montecarlo.run ~obs
+          ~codec:Cobra_parallel.Journal.(pair float_ float_)
+          ~pool ~master_seed:(master_seed + Hashtbl.hash name) ~trials (fun ~trial rng ->
             ignore trial;
             let initial = Bitset.of_list n [ 0 ] in
             match Sis.run g rng ~lazy_ ~initial () with
@@ -80,8 +81,8 @@ let run ~obs ~pool ~master_seed ~scale =
       let bips = Cobra_core.Estimate.infection_time ~obs ~pool ~master_seed ~trials:64 ~source:0 g in
       if bips.censored > 0 then all_ok := false;
       let sis_saturated =
-        Cobra_parallel.Montecarlo.run ~obs ~pool ~master_seed:(master_seed + 5) ~trials:64
-          (fun ~trial rng ->
+        Cobra_parallel.Montecarlo.run ~obs ~codec:Cobra_parallel.Journal.int_ ~pool
+          ~master_seed:(master_seed + 5) ~trials:64 (fun ~trial rng ->
             ignore trial;
             let initial = Bitset.of_list (Graph.n g) [ 0 ] in
             match Sis.run g rng ~initial () with Sis.Saturated _ -> 1 | _ -> 0)

@@ -43,7 +43,7 @@ let run ~obs ~pool ~master_seed ~scale =
     (List.map (fun f -> (f, Common.graph_of f ~n ~seed:master_seed)) Gen.family_names
     @ stress_cases n);
   let sorted =
-    List.sort (fun (_, _, _, a) (_, _, _, b) -> compare b a) !measurements
+    List.sort (fun (_, _, _, a) (_, _, _, b) -> Float.compare b a) !measurements
   in
   let t =
     Table.create

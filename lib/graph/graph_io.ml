@@ -4,6 +4,13 @@ let to_string g =
   Graph.iter_edges g (fun u v -> Buffer.add_string buf (Printf.sprintf "%d %d\n" u v));
   Buffer.contents buf
 
+(* Fields may be separated by any run of spaces and/or tabs; [String.trim]
+   has already eaten a trailing '\r' from CRLF input. *)
+let tokens line =
+  String.split_on_char ' ' (String.trim line)
+  |> List.concat_map (String.split_on_char '\t')
+  |> List.filter (fun t -> t <> "")
+
 let of_string s =
   let lines = String.split_on_char '\n' s in
   let meaningful =
@@ -17,7 +24,7 @@ let of_string s =
   | [] -> failwith "Graph_io.of_string: empty input"
   | header :: rest ->
       let n =
-        match String.split_on_char ' ' (String.trim header) with
+        match tokens header with
         | [ "cobra-graph"; n_str ] -> (
             match int_of_string_opt n_str with
             | Some n when n >= 0 -> n
@@ -25,10 +32,7 @@ let of_string s =
         | _ -> failwith "Graph_io.of_string: expected 'cobra-graph <n>' header"
       in
       let parse_edge line =
-        let tokens =
-          String.split_on_char ' ' (String.trim line) |> List.filter (fun t -> t <> "")
-        in
-        match tokens with
+        match tokens line with
         | [ a; b ] -> (
             match (int_of_string_opt a, int_of_string_opt b) with
             | Some u, Some v -> (u, v)

@@ -77,8 +77,8 @@ let is_isomorphic_brute g h =
   if n > 10 then invalid_arg "Ops.is_isomorphic_brute: n <= 10 required";
   if Graph.n h <> n || Graph.m g <> Graph.m h then false
   else begin
-    let dg = List.sort compare (List.init n (Graph.degree g)) in
-    let dh = List.sort compare (List.init n (Graph.degree h)) in
+    let dg = List.sort Int.compare (List.init n (Graph.degree g)) in
+    let dh = List.sort Int.compare (List.init n (Graph.degree h)) in
     if dg <> dh then false
     else begin
       (* Backtracking over partial maps with degree compatibility. *)

@@ -107,7 +107,7 @@ let degree_histogram g =
     Hashtbl.replace tbl d (1 + Option.value ~default:0 (Hashtbl.find_opt tbl d))
   done;
   Hashtbl.fold (fun d c acc -> (d, c) :: acc) tbl []
-  |> List.sort (fun (a, _) (b, _) -> compare a b)
+  |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
 
 let average_degree g =
   if Graph.n g = 0 then 0.0 else 2.0 *. float_of_int (Graph.m g) /. float_of_int (Graph.n g)

@@ -3,7 +3,16 @@ type t = { started : float }
 let start () = { started = Unix.gettimeofday () }
 let elapsed_s t = Unix.gettimeofday () -. t.started
 let elapsed_ns t = elapsed_s t *. 1e9
-let stamp () = Unix.gettimeofday ()
+(* SOURCE_DATE_EPOCH (reproducible-builds.org convention) pins manifest
+   timestamps, letting two runs of the same sweep produce byte-identical
+   manifests; elapsed-time measurement is never affected. *)
+let stamp () =
+  match Sys.getenv_opt "SOURCE_DATE_EPOCH" with
+  | Some s -> (
+      match float_of_string_opt (String.trim s) with
+      | Some epoch when Float.is_finite epoch && epoch >= 0.0 -> epoch
+      | _ -> Unix.gettimeofday ())
+  | None -> Unix.gettimeofday ()
 
 let iso8601 epoch =
   let tm = Unix.gmtime epoch in

@@ -18,7 +18,11 @@ val elapsed_ns : t -> float
 (** [elapsed_s] scaled to nanoseconds (the bench-table unit). *)
 
 val stamp : unit -> float
-(** Current unix epoch time in seconds — manifest timestamps. *)
+(** Current unix epoch time in seconds — manifest timestamps.  If the
+    [SOURCE_DATE_EPOCH] environment variable holds a valid non-negative
+    epoch, that value is returned instead (the reproducible-builds
+    convention), so repeated runs can emit byte-identical manifests.
+    Elapsed-time measurement ({!start}/{!elapsed_s}) is unaffected. *)
 
 val iso8601 : float -> string
 (** [iso8601 t] renders an epoch stamp as ["YYYY-MM-DDThh:mm:ssZ"]. *)

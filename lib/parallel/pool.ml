@@ -1,10 +1,24 @@
+module Cancel = struct
+  type t = bool Atomic.t
+
+  let create () = Atomic.make false
+  let cancel t = Atomic.set t true
+  let cancelled t = Atomic.get t
+end
+
+exception Cancelled
+exception Deadline_exceeded
+
 type job = {
   counter : int Atomic.t; (* next unclaimed chunk start *)
   hi : int;
   chunk : int;
   body : int -> unit;
   pending : int Atomic.t; (* workers still inside the job *)
-  failure : exn option Atomic.t;
+  failure : (exn * Printexc.raw_backtrace) option Atomic.t;
+  cancel : Cancel.t option;
+  deadline : float; (* absolute wall-clock time; [infinity] when unbounded *)
+  tripped : exn option Atomic.t; (* Cancelled / Deadline_exceeded, first observer wins *)
 }
 
 type t = {
@@ -32,6 +46,19 @@ let run_job job =
   (try
      let continue_ = ref true in
      while !continue_ do
+       (* Cooperative cancellation and the job deadline are checked
+          between chunks: a chunk that has started always runs to
+          completion, so every iteration either fully happened or never
+          started — the invariant journaled checkpoints rely on. *)
+       (match job.cancel with
+       | Some c when Cancel.cancelled c ->
+           ignore (Atomic.compare_and_set job.tripped None (Some Cancelled));
+           raise Stop
+       | _ -> ());
+       if job.deadline < infinity && Unix.gettimeofday () > job.deadline then begin
+         ignore (Atomic.compare_and_set job.tripped None (Some Deadline_exceeded));
+         raise Stop
+       end;
        let start = Atomic.fetch_and_add job.counter job.chunk in
        if start >= job.hi then continue_ := false
        else begin
@@ -44,7 +71,12 @@ let run_job job =
      done
    with
   | Stop -> ()
-  | e -> ignore (Atomic.compare_and_set job.failure None (Some e)));
+  | e ->
+      (* Capture the backtrace at the catch site, before any further
+         allocation can clobber it; the submitting thread re-raises with
+         it so the original raising frame survives the domain hop. *)
+      let bt = Printexc.get_raw_backtrace () in
+      ignore (Atomic.compare_and_set job.failure None (Some (e, bt))));
   Atomic.decr job.pending
 
 let worker_loop mailbox stop =
@@ -88,7 +120,7 @@ let create ?num_domains () =
 
 let size t = Array.length t.domains + 1
 
-let parallel_for t ~lo ~hi ?chunk body =
+let parallel_for t ~lo ~hi ?chunk ?cancel ?deadline_s body =
   if not t.active then invalid_arg "Pool.parallel_for: pool is shut down";
   if hi > lo then begin
     let span = hi - lo in
@@ -100,6 +132,13 @@ let parallel_for t ~lo ~hi ?chunk body =
           c
       | None -> max 1 (span / (8 * workers))
     in
+    let deadline =
+      match deadline_s with
+      | None -> infinity
+      | Some s ->
+          if not (s > 0.0) then invalid_arg "Pool.parallel_for: deadline must be > 0";
+          Unix.gettimeofday () +. s
+    in
     let job =
       {
         counter = Atomic.make lo;
@@ -108,6 +147,9 @@ let parallel_for t ~lo ~hi ?chunk body =
         body;
         pending = Atomic.make workers;
         failure = Atomic.make None;
+        cancel;
+        deadline;
+        tripped = Atomic.make None;
       }
     in
     Array.iter (fun slot -> Atomic.set slot (Some job)) t.mailbox;
@@ -127,7 +169,10 @@ let parallel_for t ~lo ~hi ?chunk body =
     while Atomic.get job.pending > 0 do
       Domain.cpu_relax ()
     done;
-    match Atomic.get job.failure with None -> () | Some e -> raise e
+    (match Atomic.get job.failure with
+    | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+    | None -> ());
+    match Atomic.get job.tripped with Some e -> raise e | None -> ()
   end
 
 let parallel_init t n f =

@@ -12,6 +12,28 @@
 
 type t
 
+(** Cooperative cancellation tokens.  A token is shared between the
+    submitter (or a signal handler) and the pool: once cancelled it stays
+    cancelled, and every loop it was passed to stops claiming chunks at
+    its next between-chunk check. *)
+module Cancel : sig
+  type t
+
+  val create : unit -> t
+
+  val cancel : t -> unit
+  (** Idempotent; safe to call from a signal handler or another domain. *)
+
+  val cancelled : t -> bool
+end
+
+exception Cancelled
+(** Raised by {!parallel_for} in the submitting thread after the loop
+    drains, when its cancel token tripped before all iterations ran. *)
+
+exception Deadline_exceeded
+(** Same, for the per-job deadline. *)
+
 val create : ?num_domains:int -> unit -> t
 (** [create ()] spawns [num_domains] workers (default:
     [Domain.recommended_domain_count () - 1], at least 1 total worker
@@ -21,12 +43,27 @@ val create : ?num_domains:int -> unit -> t
 val size : t -> int
 (** Number of workers that execute a loop, including the caller. *)
 
-val parallel_for : t -> lo:int -> hi:int -> ?chunk:int -> (int -> unit) -> unit
+val parallel_for :
+  t -> lo:int -> hi:int -> ?chunk:int -> ?cancel:Cancel.t -> ?deadline_s:float ->
+  (int -> unit) -> unit
 (** [parallel_for t ~lo ~hi f] runs [f i] for [lo <= i < hi], spread over
     the pool; the calling thread participates.  [chunk] (default:
     automatic, targeting ~8 chunks per worker) trades scheduling overhead
-    against balance.  Exceptions raised by [f] are re-raised in the
-    caller after the loop drains (the first one observed). *)
+    against balance.
+
+    Exceptions raised by [f] are re-raised in the caller after the loop
+    drains — the first one observed, with its original backtrace
+    (captured in the worker and restored via
+    [Printexc.raise_with_backtrace]).
+
+    [cancel] and [deadline_s] (seconds from submission, for this job
+    only) are checked cooperatively {e between chunks}: a started chunk
+    always completes, so every iteration either ran fully or never
+    started.  When the token trips (or the deadline passes) before all
+    iterations ran, the loop drains and raises {!Cancelled}
+    (resp. {!Deadline_exceeded}); a worker failure takes precedence over
+    either.  The pool remains usable afterwards.
+    @raise Invalid_argument on a non-positive [chunk] or [deadline_s]. *)
 
 val parallel_init : t -> int -> (int -> 'a) -> 'a array
 (** [parallel_init t n f] is [Array.init n f] computed in parallel.

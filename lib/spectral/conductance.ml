@@ -60,7 +60,7 @@ let sweep_upper_bound ?tol ?max_iter ?seed g =
   if n < 2 then invalid_arg "Conductance.sweep_upper_bound: need at least 2 vertices";
   let _, v = Eigen.second_eigenvector ?tol ?max_iter ?seed g in
   let order = Array.init n (fun i -> i) in
-  Array.sort (fun a b -> compare v.(a) v.(b)) order;
+  Array.sort (fun a b -> Float.compare v.(a) v.(b)) order;
   let total = Graph.total_degree g in
   let in_set = Array.make n false in
   let vol = ref 0 and cut = ref 0 in

@@ -150,7 +150,7 @@ let jacobi_eigenvalues a =
     done
   done;
   let eigs = Array.init n (fun i -> a.(i).(i)) in
-  Array.sort (fun x y -> compare y x) eigs;
+  Array.sort (fun x y -> Float.compare y x) eigs;
   eigs
 
 let dense_spectrum g =

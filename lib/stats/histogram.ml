@@ -1,21 +1,26 @@
-type t = { lo : float; hi : float; bins : int array; mutable total : int }
+type t = {
+  lo : float;
+  hi : float;
+  bins : int array;
+  mutable underflow : int;
+  mutable overflow : int;
+  mutable total : int;
+}
 
 let create ~lo ~hi ~bins =
   if bins < 1 then invalid_arg "Histogram.create: bins must be >= 1";
   if hi <= lo then invalid_arg "Histogram.create: need hi > lo";
-  { lo; hi; bins = Array.make bins 0; total = 0 }
+  { lo; hi; bins = Array.make bins 0; underflow = 0; overflow = 0; total = 0 }
 
 let add t x =
   let k = Array.length t.bins in
-  let idx =
-    if x < t.lo then 0
-    else if x >= t.hi then k - 1
-    else begin
-      let i = int_of_float (float_of_int k *. (x -. t.lo) /. (t.hi -. t.lo)) in
-      min (k - 1) (max 0 i)
-    end
-  in
-  t.bins.(idx) <- t.bins.(idx) + 1;
+  if x < t.lo then t.underflow <- t.underflow + 1
+  else if x >= t.hi then t.overflow <- t.overflow + 1
+  else begin
+    let i = int_of_float (float_of_int k *. (x -. t.lo) /. (t.hi -. t.lo)) in
+    let idx = min (k - 1) (max 0 i) in
+    t.bins.(idx) <- t.bins.(idx) + 1
+  end;
   t.total <- t.total + 1
 
 let of_array ?(bins = 20) xs =
@@ -28,6 +33,8 @@ let of_array ?(bins = 20) xs =
   t
 
 let counts t = Array.copy t.bins
+let underflow t = t.underflow
+let overflow t = t.overflow
 let total t = t.total
 
 let bin_bounds t i =
@@ -39,10 +46,17 @@ let bin_bounds t i =
 let render ?(width = 50) t =
   let buf = Buffer.create 256 in
   let peak = Array.fold_left max 1 t.bins in
+  let peak = max peak (max t.underflow t.overflow) in
+  let bar c = String.make (c * width / peak) '#' in
+  if t.underflow > 0 then
+    Buffer.add_string buf
+      (Printf.sprintf "(-inf, %10.1f) %6d %s\n" t.lo t.underflow (bar t.underflow));
   Array.iteri
     (fun i c ->
       let lo, hi = bin_bounds t i in
-      let bar = String.make (c * width / peak) '#' in
-      Buffer.add_string buf (Printf.sprintf "[%10.1f, %10.1f) %6d %s\n" lo hi c bar))
+      Buffer.add_string buf (Printf.sprintf "[%10.1f, %10.1f) %6d %s\n" lo hi c (bar c)))
     t.bins;
+  if t.overflow > 0 then
+    Buffer.add_string buf
+      (Printf.sprintf "[%10.1f, +inf) %6d %s\n" t.hi t.overflow (bar t.overflow));
   Buffer.contents buf

@@ -16,7 +16,7 @@ let check xs q =
 let quantile xs q =
   check xs q;
   let sorted = Array.copy xs in
-  Array.sort compare sorted;
+  Array.sort Float.compare sorted;
   of_sorted sorted q
 
 let median xs = quantile xs 0.5
@@ -24,7 +24,7 @@ let median xs = quantile xs 0.5
 let quantiles xs qs =
   List.iter (fun q -> check xs q) qs;
   let sorted = Array.copy xs in
-  Array.sort compare sorted;
+  Array.sort Float.compare sorted;
   List.map (of_sorted sorted) qs
 
 let iqr xs =

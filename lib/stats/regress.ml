@@ -17,7 +17,9 @@ let fit xs ys =
   if !sxx <= 0.0 then invalid_arg "Regress.fit: zero variance in x";
   let slope = !sxy /. !sxx in
   let intercept = my -. (slope *. mx) in
-  let r2 = if !syy <= 0.0 then 1.0 else !sxy *. !sxy /. (!sxx *. !syy) in
+  (* Constant y leaves r2 = 0/0: no variance to explain, so the
+     goodness-of-fit is undefined, not perfect. *)
+  let r2 = if !syy <= 0.0 then nan else !sxy *. !sxy /. (!sxx *. !syy) in
   { slope; intercept; r2 }
 
 let positive name a =

@@ -9,7 +9,10 @@
 type fit = {
   slope : float;
   intercept : float;
-  r2 : float;  (** Coefficient of determination; 1 on an exact line. *)
+  r2 : float;
+      (** Coefficient of determination; 1 on an exact line, [nan] when
+          [ys] has zero variance (a constant fit explains nothing, so
+          goodness-of-fit is undefined there, not perfect). *)
 }
 
 val fit : float array -> float array -> fit

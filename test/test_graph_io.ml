@@ -23,6 +23,26 @@ let test_parse_flexible () =
   check_int "n" 4 (Graph.n g);
   Alcotest.(check (list (pair int int))) "edges" [ (0, 3); (1, 2) ] (Graph.edges g)
 
+(* Regression: the header used to be split on single spaces only, so
+   "cobra-graph  4" (double space), a tab separator, or CRLF line
+   endings failed even though edge lines tolerated all three. *)
+let test_parse_header_whitespace () =
+  let edges_of s = Graph.edges (Graph_io.of_string s) in
+  Alcotest.(check (list (pair int int)))
+    "double-space header" [ (0, 1) ] (edges_of "cobra-graph  4\n0 1\n");
+  Alcotest.(check (list (pair int int)))
+    "tab header" [ (0, 1) ] (edges_of "cobra-graph\t4\n0 1\n");
+  Alcotest.(check (list (pair int int)))
+    "leading/trailing blanks" [ (0, 1) ] (edges_of "  cobra-graph   4  \n0 1\n")
+
+let test_parse_tabs_and_crlf () =
+  let g = Graph_io.of_string "cobra-graph\t4\r\n0\t1\r\n2\t 3\r\n" in
+  check_int "n" 4 (Graph.n g);
+  Alcotest.(check (list (pair int int))) "edges" [ (0, 1); (2, 3) ] (Graph.edges g);
+  (* Mixed runs of tabs and spaces within one line. *)
+  let g = Graph_io.of_string "cobra-graph \t 3\n0 \t\t 2\n" in
+  Alcotest.(check (list (pair int int))) "mixed separators" [ (0, 2) ] (Graph.edges g)
+
 let test_parse_isolated_vertices () =
   let g = Graph_io.of_string "cobra-graph 5\n0 1\n" in
   check_int "n includes isolated" 5 (Graph.n g);
@@ -101,6 +121,8 @@ let () =
           Alcotest.test_case "to_string format" `Quick test_to_string_format;
           Alcotest.test_case "roundtrip" `Quick test_roundtrip_basic;
           Alcotest.test_case "flexible parse" `Quick test_parse_flexible;
+          Alcotest.test_case "header whitespace" `Quick test_parse_header_whitespace;
+          Alcotest.test_case "tabs and CRLF" `Quick test_parse_tabs_and_crlf;
           Alcotest.test_case "isolated vertices" `Quick test_parse_isolated_vertices;
           Alcotest.test_case "parse errors" `Quick test_parse_errors;
           Alcotest.test_case "dot" `Quick test_dot;

@@ -82,6 +82,103 @@ let test_create_validation () =
     (Invalid_argument "Pool.create: num_domains must be >= 0") (fun () ->
       ignore (Pool.create ~num_domains:(-1) ()))
 
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  go 0
+
+(* Regression: exceptions used to be re-raised with [raise e], which
+   resets the backtrace to the re-raise site inside pool.ml.  The raise
+   site in the loop body must survive to the caller. *)
+let test_backtrace_preserved () =
+  Printexc.record_backtrace true;
+  Pool.with_pool ~num_domains:0 (fun pool ->
+      let bt =
+        try
+          Pool.parallel_for pool ~lo:0 ~hi:10 ~chunk:1 (fun i ->
+              if i = 5 then failwith "bt-probe");
+          Alcotest.fail "expected the loop to raise"
+        with Failure _ -> Printexc.get_backtrace ()
+      in
+      check_bool "backtrace reaches the raise site" true (contains bt "test_parallel"))
+
+let test_cancel_stops_iteration () =
+  Pool.with_pool ~num_domains:0 (fun pool ->
+      let cancel = Pool.Cancel.create () in
+      let executed = ref 0 in
+      let raised =
+        try
+          Pool.parallel_for pool ~lo:0 ~hi:1000 ~chunk:1 ~cancel (fun i ->
+              incr executed;
+              if i = 10 then Pool.Cancel.cancel cancel);
+          false
+        with Pool.Cancelled -> true
+      in
+      check_bool "raised Cancelled" true raised;
+      check_bool "stopped before the end" true (!executed < 1000);
+      check_bool "ran up to the cancel point" true (!executed >= 11);
+      (* The pool survives, and a fresh token does not trip. *)
+      let hits = ref 0 in
+      Pool.parallel_for pool ~lo:0 ~hi:10 ~cancel:(Pool.Cancel.create ()) (fun _ -> incr hits);
+      check_int "pool survives cancellation" 10 !hits)
+
+let test_cancel_before_start () =
+  Pool.with_pool ~num_domains:2 (fun pool ->
+      let cancel = Pool.Cancel.create () in
+      Pool.Cancel.cancel cancel;
+      let executed = ref 0 in
+      let raised =
+        try
+          Pool.parallel_for pool ~lo:0 ~hi:100 ~cancel (fun _ -> incr executed);
+          false
+        with Pool.Cancelled -> true
+      in
+      check_bool "raised Cancelled" true raised;
+      check_int "nothing ran under a tripped token" 0 !executed)
+
+let test_deadline_stops_iteration () =
+  Pool.with_pool ~num_domains:0 (fun pool ->
+      let executed = ref 0 in
+      let raised =
+        try
+          Pool.parallel_for pool ~lo:0 ~hi:1000 ~chunk:1 ~deadline_s:0.05 (fun _ ->
+              incr executed;
+              Unix.sleepf 0.01);
+          false
+        with Pool.Deadline_exceeded -> true
+      in
+      check_bool "raised Deadline_exceeded" true raised;
+      check_bool "stopped before the end" true (!executed < 1000);
+      check_bool "at least one chunk ran" true (!executed >= 1);
+      (* A generous deadline never trips. *)
+      let hits = ref 0 in
+      Pool.parallel_for pool ~lo:0 ~hi:10 ~deadline_s:3600.0 (fun _ -> incr hits);
+      check_int "generous deadline" 10 !hits)
+
+let test_deadline_validation () =
+  Pool.with_pool ~num_domains:0 (fun pool ->
+      Alcotest.check_raises "zero deadline"
+        (Invalid_argument "Pool.parallel_for: deadline must be > 0") (fun () ->
+          Pool.parallel_for pool ~lo:0 ~hi:1 ~deadline_s:0.0 (fun _ -> ())))
+
+(* A body failure must win over a cancellation that trips afterwards. *)
+let test_failure_beats_cancellation () =
+  Pool.with_pool ~num_domains:0 (fun pool ->
+      let cancel = Pool.Cancel.create () in
+      let raised =
+        try
+          Pool.parallel_for pool ~lo:0 ~hi:100 ~chunk:1 ~cancel (fun i ->
+              if i = 3 then begin
+                Pool.Cancel.cancel cancel;
+                failwith "boom"
+              end);
+          "nothing"
+        with
+        | Failure _ -> "failure"
+        | Pool.Cancelled -> "cancelled"
+      in
+      Alcotest.(check string) "failure takes precedence" "failure" raised)
+
 (* Workers back off to microsleeps when idle; a burst of jobs after a
    long idle period must still be picked up promptly and correctly. *)
 let test_idle_then_burst () =
@@ -175,6 +272,12 @@ let () =
           Alcotest.test_case "chunk validation" `Quick test_chunk_validation;
           Alcotest.test_case "create validation" `Quick test_create_validation;
           Alcotest.test_case "idle backoff then burst" `Quick test_idle_then_burst;
+          Alcotest.test_case "backtrace preserved" `Quick test_backtrace_preserved;
+          Alcotest.test_case "cancel stops iteration" `Quick test_cancel_stops_iteration;
+          Alcotest.test_case "cancel before start" `Quick test_cancel_before_start;
+          Alcotest.test_case "deadline stops iteration" `Quick test_deadline_stops_iteration;
+          Alcotest.test_case "deadline validation" `Quick test_deadline_validation;
+          Alcotest.test_case "failure beats cancellation" `Quick test_failure_beats_cancellation;
         ] );
       ( "montecarlo",
         [

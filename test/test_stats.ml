@@ -97,6 +97,13 @@ let test_quantile_errors () =
   Alcotest.check_raises "bad q" (Invalid_argument "Quantile: q must be in [0, 1]") (fun () ->
       ignore (Quantile.quantile [| 1.0 |] 1.5))
 
+let test_quantile_nan_ordering () =
+  (* Float.compare gives nan a fixed place (below every number), so a
+     sample containing nan still sorts deterministically. *)
+  let xs = [| nan; 1.0; 3.0; 2.0 |] in
+  check_float "q1 ignores the low-sorted nan" 3.0 (Quantile.quantile xs 1.0);
+  check_bool "q0 lands on the nan" true (Float.is_nan (Quantile.quantile xs 0.0))
+
 let test_quantiles_batch () =
   let xs = Array.init 101 float_of_int in
   match Quantile.quantiles xs [ 0.1; 0.5; 0.9 ] with
@@ -138,6 +145,14 @@ let test_fit_noise_r2 () =
   check_bool "slope near 1" true (Float.abs (f.slope -. 1.0) < 0.1);
   check_bool "r2 < 1 with noise" true (f.r2 < 1.0)
 
+let test_fit_constant_y_r2_nan () =
+  (* Zero variance in y makes r2 = 0/0: the fit is exact but explains
+     nothing, so goodness-of-fit is undefined — it must not read 1.0. *)
+  let f = Regress.fit [| 1.0; 2.0; 3.0 |] [| 5.0; 5.0; 5.0 |] in
+  check_float "slope" 0.0 f.slope;
+  check_float "intercept" 5.0 f.intercept;
+  check_bool "r2 is nan on constant y" true (Float.is_nan f.r2)
+
 let test_fit_errors () =
   Alcotest.check_raises "mismatch" (Invalid_argument "Regress.fit: length mismatch") (fun () ->
       ignore (Regress.fit [| 1.0 |] [| 1.0; 2.0 |]));
@@ -176,10 +191,14 @@ let test_histogram_binning () =
   let h = Histogram.create ~lo:0.0 ~hi:10.0 ~bins:5 in
   List.iter (Histogram.add h) [ 0.5; 1.5; 2.5; 9.9; -3.0; 42.0 ];
   let c = Histogram.counts h in
-  check_int "bin 0 (incl. below-range)" 3 c.(0);
+  (* Out-of-range observations are tracked separately — they must not
+     contaminate the edge bins. *)
+  check_int "bin 0 (in-range only)" 2 c.(0);
   check_int "bin 1" 1 c.(1);
-  check_int "bin 4 (incl. above-range)" 2 c.(4);
-  check_int "total" 6 (Histogram.total h);
+  check_int "bin 4 (in-range only)" 1 c.(4);
+  check_int "underflow" 1 (Histogram.underflow h);
+  check_int "overflow" 1 (Histogram.overflow h);
+  check_int "total still counts everything" 6 (Histogram.total h);
   let lo, hi = Histogram.bin_bounds h 1 in
   check_float "bin bounds lo" 2.0 lo;
   check_float "bin bounds hi" 4.0 hi
@@ -187,8 +206,24 @@ let test_histogram_binning () =
 let test_histogram_of_array_and_render () =
   let h = Histogram.of_array ~bins:4 [| 1.0; 2.0; 3.0; 4.0 |] in
   check_int "total" 4 (Histogram.total h);
+  check_int "no underflow from of_array" 0 (Histogram.underflow h);
+  check_int "no overflow from of_array" 0 (Histogram.overflow h);
   let r = Histogram.render h in
-  check_bool "render has bars" true (String.contains r '#')
+  check_bool "render has bars" true (String.contains r '#');
+  check_bool "no out-of-range lines" false
+    (String.split_on_char '\n' r |> List.exists (fun l -> String.length l > 0 && l.[0] = '('))
+
+let contains_substring hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  go 0
+
+let test_histogram_render_out_of_range () =
+  let h = Histogram.create ~lo:0.0 ~hi:10.0 ~bins:2 in
+  List.iter (Histogram.add h) [ -1.0; 5.0; 12.0; 99.0 ];
+  let r = Histogram.render h in
+  check_bool "underflow line" true (contains_substring r "(-inf,");
+  check_bool "overflow line" true (contains_substring r "+inf)")
 
 let test_histogram_errors () =
   Alcotest.check_raises "bins" (Invalid_argument "Histogram.create: bins must be >= 1") (fun () ->
@@ -286,6 +321,7 @@ let () =
           Alcotest.test_case "unsorted" `Quick test_quantile_unsorted_input;
           Alcotest.test_case "even count" `Quick test_quantile_even_count;
           Alcotest.test_case "errors" `Quick test_quantile_errors;
+          Alcotest.test_case "nan ordering" `Quick test_quantile_nan_ordering;
           Alcotest.test_case "batch" `Quick test_quantiles_batch;
         ] );
       ( "regress",
@@ -294,6 +330,7 @@ let () =
           Alcotest.test_case "power law" `Quick test_fit_loglog_power_law;
           Alcotest.test_case "polylog" `Quick test_fit_polylog;
           Alcotest.test_case "noise" `Quick test_fit_noise_r2;
+          Alcotest.test_case "constant y" `Quick test_fit_constant_y_r2_nan;
           Alcotest.test_case "errors" `Quick test_fit_errors;
         ] );
       ( "bootstrap",
@@ -306,6 +343,7 @@ let () =
         [
           Alcotest.test_case "binning" `Quick test_histogram_binning;
           Alcotest.test_case "of_array/render" `Quick test_histogram_of_array_and_render;
+          Alcotest.test_case "out-of-range render" `Quick test_histogram_render_out_of_range;
           Alcotest.test_case "errors" `Quick test_histogram_errors;
         ] );
       ( "table",
