@@ -88,6 +88,72 @@ let micro_kernels =
     Test.make ~name:"cover: hypercube n=65536" (Staged.stage (cover hypercube16));
   ]
 
+(* --- Part 0.5: domain-scaling of the keyed step kernel ---
+
+   Times the same dense keyed COBRA rounds at several pool widths; keyed
+   draws make every configuration compute bit-identical sets, so the
+   rows differ only in wall time.  Measured by wall clock over a fixed
+   round count rather than bechamel (the subject includes pool set-up
+   state that must persist across rounds but not leak between
+   configurations).  Quick mode: n = 2^16, pools of 1 and 2; full mode:
+   n = 2^20, pools of 1, 2, 4 and 8. *)
+let scaling_rows ~quick =
+  let logn = if quick then 16 else 20 in
+  let n = 1 lsl logn in
+  let widths = if quick then [ 1; 2 ] else [ 1; 2; 4; 8 ] in
+  let rounds = if quick then 8 else 16 in
+  let graphs =
+    [
+      (Printf.sprintf "hypercube d=%d" logn, Gen.hypercube logn);
+      ( Printf.sprintf "regular8 n=2^%d" logn,
+        Gen.random_regular ~n ~r:8 ~switches_per_edge:(if quick then 5 else 2) (Rng.create 7)
+      );
+    ]
+  in
+  let dense_frontier () = Bitset.of_list n (List.init (n / 2) (fun i -> 2 * i)) in
+  let time_rounds step =
+    let current = ref (dense_frontier ()) in
+    let next = ref (Bitset.create n) in
+    let timer = Cobra_obs.Timer.start () in
+    for round = 1 to rounds do
+      ignore (step ~round ~current:!current ~next:!next : int);
+      let tmp = !current in
+      current := !next;
+      next := tmp
+    done;
+    Cobra_obs.Timer.elapsed_s timer *. 1e9 /. float_of_int rounds
+  in
+  List.concat_map
+    (fun (gname, g) ->
+      let serial =
+        let seq_rng = Rng.create 11 in
+        let scratch = Array.make Process.sparse_frontier_threshold 0 in
+        ( Printf.sprintf "scaling: cobra_step serial %s" gname,
+          time_rounds (fun ~round:_ ~current ~next ->
+              Process.cobra_step ~scratch g seq_rng ~branching:(Process.Fixed 2) ~lazy_:false
+                ~current ~next) )
+      in
+      let keyed =
+        List.map
+          (fun width ->
+            Cobra_parallel.Pool.with_pool ~num_domains:(width - 1) (fun pool ->
+                let ctx = Process.make_keyed_ctx ~pool g ~master:2017 in
+                ( Printf.sprintf "scaling: cobra_step_keyed %s domains=%d" gname width,
+                  time_rounds (fun ~round ~current ~next ->
+                      Process.cobra_step_keyed g ctx ~round ~branching:(Process.Fixed 2)
+                        ~lazy_:false ~current ~next) )))
+          widths
+      in
+      serial :: keyed)
+    graphs
+
+let run_scaling ~quick =
+  let rows = scaling_rows ~quick in
+  Printf.printf "\n%-50s %15s\n" "domain scaling (dense keyed rounds)" "time/round";
+  Printf.printf "%s\n" (String.make 66 '-');
+  List.iter (fun (name, t) -> Printf.printf "%-50s %12.2f ms\n" name (t /. 1e6)) rows;
+  rows
+
 let experiment_kernels =
   [
     Test.make ~name:"e1: cover lollipop n=64" (Staged.stage (cover lollipop));
@@ -268,6 +334,7 @@ let run_benchmarks ~quick () =
       in
       Printf.printf "%-50s %15s\n" name pretty)
     rows;
+  let rows = rows @ run_scaling ~quick in
   write_bench_json rows
 
 let run_tables pool =
@@ -292,10 +359,11 @@ let run_tables pool =
     (Cobra_obs.Timer.elapsed_s total)
     (Cobra_parallel.Pool.size pool)
 
-(* One pool for the whole binary: spawning domains per phase would both
-   slow the run down and leak workers into the bechamel timings.  In
-   --quick mode no pool is spawned at all: only the single-threaded
-   kernel microbenches run. *)
+(* One pool for the table phase: spawning domains per experiment would
+   both slow the run down and leak workers into the bechamel timings.
+   The scaling suite spawns its own short-lived pools, but only after
+   every bechamel measurement has finished.  In --quick mode only the
+   single-threaded kernel microbenches and the scaling smoke run. *)
 let () =
   if Array.exists (( = ) "--quick") Sys.argv then run_benchmarks ~quick:true ()
   else

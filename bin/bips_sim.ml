@@ -47,7 +47,15 @@ let phases_arg =
 let domains_arg =
   Arg.(value & opt (some int) None & info [ "domains" ] ~docv:"K" ~doc:"Extra worker domains.")
 
-let run family file n trials seed source rho lazy_ trajectory phases domains =
+let keyed_arg =
+  let doc =
+    "Use counter-based keyed randomness: trials run serially and the worker domains \
+     parallelise the rounds inside each trial. Results are bit-identical for any --domains \
+     value."
+  in
+  Arg.(value & flag & info [ "keyed" ] ~doc)
+
+let run family file n trials seed source rho lazy_ trajectory phases domains keyed =
   let g =
     match file with
     | Some path -> Cobra_graph.Graph_io.read_file path
@@ -60,8 +68,12 @@ let run family file n trials seed source rho lazy_ trajectory phases domains =
     (if lambda >= 0.9999 then "  [degenerate: bipartite or disconnected]" else "");
   Cobra_parallel.Pool.with_pool ?num_domains:domains (fun pool ->
       let est =
-        Cobra_core.Estimate.infection_time ~pool ~master_seed:seed ~trials ~branching ~lazy_
-          ~source g
+        if keyed then
+          Cobra_core.Estimate.infection_time_keyed ~pool ~master_seed:seed ~trials ~branching
+            ~lazy_ ~source g
+        else
+          Cobra_core.Estimate.infection_time ~pool ~master_seed:seed ~trials ~branching ~lazy_
+            ~source g
       in
       if est.censored > 0 then
         Format.printf "WARNING: %d/%d trials hit the round cap@." est.censored trials;
@@ -106,7 +118,7 @@ let cmd =
   let term =
     Term.(
       const run $ family_arg $ graph_file_arg $ n_arg $ trials_arg $ seed_arg $ source_arg
-      $ rho_arg $ lazy_arg $ trajectory_arg $ phases_arg $ domains_arg)
+      $ rho_arg $ lazy_arg $ trajectory_arg $ phases_arg $ domains_arg $ keyed_arg)
   in
   Cmd.v (Cmd.info "bips-sim" ~version:"1.0.0" ~doc) term
 

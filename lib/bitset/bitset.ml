@@ -37,6 +37,8 @@ let create capacity =
 let capacity t = t.capacity
 let cardinal t = t.card
 let is_empty t = t.card = 0
+let bits_per_word = bpw
+let num_words t = Array.length t.words
 
 let check t i =
   if i < 0 || i >= t.capacity then
@@ -61,6 +63,14 @@ let[@inline] unsafe_add t i =
 let add t i =
   check t i;
   unsafe_add t i
+
+(* Raw bit write: no range check, and — unlike [unsafe_add] — no
+   cardinality maintenance, so concurrent writers touching disjoint
+   words never contend on the shared [card] field.  The caller owns the
+   repair: [refresh_cardinal] after the writes complete. *)
+let[@inline] unsafe_set_bit t i =
+  let w = div_bpw i in
+  Array.unsafe_set t.words w (Array.unsafe_get t.words w lor (1 lsl mod_bpw i))
 
 let remove t i =
   check t i;
@@ -206,6 +216,63 @@ let iter_words f t =
     if word <> 0 then f (w * bpw) word
   done
 
+(* --- word-range kernels for domain-sharded steps ---
+
+   A parallel step splits the word array into contiguous shards, one per
+   domain.  [iter_words_range]/[iter_range] scan one shard; the
+   per-domain output sets are then combined with [union_words_range],
+   itself sharded over word ranges, and a final [refresh_cardinal]
+   repairs the cardinality in one serial O(words) sweep. *)
+
+let check_word_range t ~lo ~hi =
+  if lo < 0 || hi > Array.length t.words || lo > hi then
+    invalid_arg
+      (Printf.sprintf "Bitset: word range [%d, %d) outside [0, %d]" lo hi
+         (Array.length t.words))
+
+let iter_words_range f t ~lo ~hi =
+  check_word_range t ~lo ~hi;
+  let words = t.words in
+  for w = lo to hi - 1 do
+    let word = Array.unsafe_get words w in
+    if word <> 0 then f (w * bpw) word
+  done
+
+let iter_range f t ~lo ~hi =
+  check_word_range t ~lo ~hi;
+  let words = t.words in
+  for w = lo to hi - 1 do
+    let word = ref (Array.unsafe_get words w) in
+    if !word <> 0 then begin
+      let base = w * bpw in
+      while !word <> 0 do
+        let low = !word land - !word in
+        f (base + ctz_onehot low);
+        word := !word lxor low
+      done
+    end
+  done
+
+let union_words_range ~into srcs ~lo ~hi =
+  check_word_range into ~lo ~hi;
+  Array.iter (fun s -> same_capacity into s) srcs;
+  let dst = into.words in
+  for w = lo to hi - 1 do
+    let x = ref 0 in
+    for s = 0 to Array.length srcs - 1 do
+      x := !x lor Array.unsafe_get (Array.unsafe_get srcs s).words w
+    done;
+    Array.unsafe_set dst w !x
+  done
+
+let refresh_cardinal t =
+  let c = ref 0 in
+  let words = t.words in
+  for w = 0 to Array.length words - 1 do
+    c := !c + popcount (Array.unsafe_get words w)
+  done;
+  t.card <- !c
+
 let fold f t init =
   let acc = ref init in
   iter (fun i -> acc := f i !acc) t;
@@ -222,6 +289,17 @@ let to_array t =
       incr k)
     t;
   a
+
+let members_into t buf =
+  if Array.length buf < t.card then
+    invalid_arg "Bitset.members_into: buffer shorter than cardinal";
+  let k = ref 0 in
+  iter
+    (fun i ->
+      Array.unsafe_set buf !k i;
+      incr k)
+    t;
+  !k
 
 let of_list capacity xs =
   let t = create capacity in

@@ -23,6 +23,17 @@ val capacity : t -> int
 val cardinal : t -> int
 (** Number of members; O(1). *)
 
+val bits_per_word : int
+(** Elements packed per machine word (63).  Word index [w] covers
+    elements [w * bits_per_word .. (w+1) * bits_per_word - 1] — the unit
+    in which {!iter_words_range} and friends address the set, and the
+    alignment parallel kernels use to give each domain a disjoint slice
+    of the universe. *)
+
+val num_words : t -> int
+(** Number of machine words backing the set ([ceil (capacity / 63)], at
+    least 1).  Word ranges below are sub-intervals of [0 .. num_words]. *)
+
 val is_empty : t -> bool
 
 val mem : t -> int -> bool
@@ -35,6 +46,14 @@ val unsafe_add : t -> int -> unit
     in-range by construction.  Out-of-range elements corrupt the set or
     crash; prefer [add] everywhere performance does not demand
     otherwise. *)
+
+val unsafe_set_bit : t -> int -> unit
+(** Raw bit write: like {!unsafe_add} but does {e not} maintain the
+    cardinality, leaving [cardinal] stale until {!refresh_cardinal}
+    runs.  This is the write primitive for domain-parallel kernels in
+    which several workers set bits of the same set in disjoint word
+    ranges: with no shared counter to update, disjoint-word writes are
+    race-free.  Element must be in range (unchecked). *)
 
 val remove : t -> int -> unit
 (** Idempotent deletion. *)
@@ -79,6 +98,32 @@ val iter_words : (int -> int -> unit) -> t -> unit
     may use the int's sign bit, so treat it as a bit pattern, not a
     number. *)
 
+val iter_words_range : (int -> int -> unit) -> t -> lo:int -> hi:int -> unit
+(** [iter_words_range f t ~lo ~hi] is {!iter_words} restricted to word
+    indices [lo <= w < hi] — the shard-local scan of a domain-parallel
+    step.  @raise Invalid_argument on a range outside [0 .. num_words]. *)
+
+val iter_range : (int -> unit) -> t -> lo:int -> hi:int -> unit
+(** [iter_range f t ~lo ~hi] iterates the members whose word index lies
+    in [lo <= w < hi], in increasing order — {!iter} restricted to a
+    word range.  @raise Invalid_argument on an invalid range. *)
+
+val union_words_range : into:t -> t array -> lo:int -> hi:int -> unit
+(** [union_words_range ~into srcs ~lo ~hi] overwrites each word [w] of
+    [into] with [lo <= w < hi] by the bitwise OR of the corresponding
+    words of [srcs] — the reduce step that combines per-domain scratch
+    sets into the round's [next] set.  Prior contents of [into] in the
+    range are discarded (no clear needed); words outside the range are
+    untouched.  [cardinal into] is left {e stale}; call
+    {!refresh_cardinal} once all ranges are written.  All sets must
+    share a capacity.
+    @raise Invalid_argument on a capacity mismatch or invalid range. *)
+
+val refresh_cardinal : t -> unit
+(** Recomputes the cardinality from the words in one O(num_words)
+    popcount sweep — the repair step after {!unsafe_set_bit} or
+    {!union_words_range} writes. *)
+
 val fold : (int -> 'a -> 'a) -> t -> 'a -> 'a
 (** Folds members in increasing order. *)
 
@@ -87,6 +132,12 @@ val to_list : t -> int list
 
 val to_array : t -> int array
 (** Members in increasing order. *)
+
+val members_into : t -> int array -> int
+(** [members_into t buf] writes the members, in increasing order, into
+    the prefix of [buf] and returns the count ([cardinal t]) — the
+    allocation-free variant of {!to_array} for per-run scratch buffers.
+    @raise Invalid_argument if [buf] is shorter than [cardinal t]. *)
 
 val of_list : int -> int list -> t
 (** [of_list capacity xs] builds a set containing [xs]. *)

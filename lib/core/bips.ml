@@ -7,12 +7,26 @@ let check_source g source =
   if Graph.n g = 0 then invalid_arg "Bips: empty graph";
   if source < 0 || source >= Graph.n g then invalid_arg "Bips: source vertex out of range"
 
-let run_loop g rng ~branching ~lazy_ ~max_rounds ~record ~source =
+(* Kernel selection, mirroring [Cobra.stepper]: the sequential stream or
+   the keyed (optionally pool-sharded) kernel behind one closure. *)
+let stepper g rng ~branching ~lazy_ ~source ~pool ~rng_mode ~dense_threshold =
+  match rng_mode with
+  | Process.Sequential ->
+      fun ~round:_ ~current ~next ->
+        Process.bips_step g rng ~branching ~lazy_ ~source ~current ~next
+  | Process.Keyed { master } ->
+      let ctx = Process.make_keyed_ctx ?pool ?dense_threshold g ~master in
+      fun ~round ~current ~next ->
+        Process.bips_step_keyed g ctx ~round ~branching ~lazy_ ~source ~current ~next
+
+let run_loop g rng ~branching ~lazy_ ~max_rounds ~record ~source ~pool ~rng_mode
+    ~dense_threshold =
   let n = Graph.n g in
   let current = ref (Bitset.create n) in
   let next = ref (Bitset.create n) in
   let scratch = Bitset.create n in
   Bitset.add !current source;
+  let step = stepper g rng ~branching ~lazy_ ~source ~pool ~rng_mode ~dense_threshold in
   let sizes = ref [ 1 ] and candidate_sizes = ref [] in
   let rounds = ref 0 in
   let result = ref None in
@@ -25,7 +39,7 @@ let run_loop g rng ~branching ~lazy_ ~max_rounds ~record ~source =
            candidate_sizes := Bitset.cardinal scratch :: !candidate_sizes
          end;
          incr rounds;
-         Process.bips_step g rng ~branching ~lazy_ ~source ~current:!current ~next:!next;
+         step ~round:!rounds ~current:!current ~next:!next;
          let tmp = !current in
          current := !next;
          next := tmp;
@@ -46,21 +60,26 @@ let run_loop g rng ~branching ~lazy_ ~max_rounds ~record ~source =
           candidate_sizes = Array.of_list (List.rev !candidate_sizes);
         }
 
-let run_infection g rng ?(branching = Process.Fixed 2) ?(lazy_ = false) ?max_rounds ~source () =
+let run_infection g rng ?(branching = Process.Fixed 2) ?(lazy_ = false) ?max_rounds ?pool
+    ?(rng_mode = Process.Sequential) ?dense_threshold ~source () =
   check_source g source;
   Process.validate_branching branching;
   let max_rounds = Option.value max_rounds ~default:(Cobra.default_max_rounds g) in
   Option.map
     (fun t -> t.rounds)
-    (run_loop g rng ~branching ~lazy_ ~max_rounds ~record:false ~source)
+    (run_loop g rng ~branching ~lazy_ ~max_rounds ~record:false ~source ~pool ~rng_mode
+       ~dense_threshold)
 
-let run_trajectory g rng ?(branching = Process.Fixed 2) ?(lazy_ = false) ?max_rounds ~source () =
+let run_trajectory g rng ?(branching = Process.Fixed 2) ?(lazy_ = false) ?max_rounds ?pool
+    ?(rng_mode = Process.Sequential) ?dense_threshold ~source () =
   check_source g source;
   Process.validate_branching branching;
   let max_rounds = Option.value max_rounds ~default:(Cobra.default_max_rounds g) in
-  run_loop g rng ~branching ~lazy_ ~max_rounds ~record:true ~source
+  run_loop g rng ~branching ~lazy_ ~max_rounds ~record:true ~source ~pool ~rng_mode
+    ~dense_threshold
 
-let infected_after g rng ?(branching = Process.Fixed 2) ?(lazy_ = false) ~rounds ~source () =
+let infected_after g rng ?(branching = Process.Fixed 2) ?(lazy_ = false) ?pool
+    ?(rng_mode = Process.Sequential) ?dense_threshold ~rounds ~source () =
   check_source g source;
   Process.validate_branching branching;
   if rounds < 0 then invalid_arg "Bips.infected_after: negative round count";
@@ -68,8 +87,9 @@ let infected_after g rng ?(branching = Process.Fixed 2) ?(lazy_ = false) ~rounds
   let current = ref (Bitset.create n) in
   let next = ref (Bitset.create n) in
   Bitset.add !current source;
-  for _ = 1 to rounds do
-    Process.bips_step g rng ~branching ~lazy_ ~source ~current:!current ~next:!next;
+  let step = stepper g rng ~branching ~lazy_ ~source ~pool ~rng_mode ~dense_threshold in
+  for r = 1 to rounds do
+    step ~round:r ~current:!current ~next:!next;
     let tmp = !current in
     current := !next;
     next := tmp

@@ -19,20 +19,24 @@ type trajectory = {
 
 val run_infection :
   Cobra_graph.Graph.t -> Cobra_prng.Rng.t -> ?branching:Process.branching -> ?lazy_:bool ->
-  ?max_rounds:int -> source:int -> unit -> int option
+  ?max_rounds:int -> ?pool:Cobra_parallel.Pool.t -> ?rng_mode:Process.rng_mode ->
+  ?dense_threshold:int -> source:int -> unit -> int option
 (** [run_infection g rng ~source ()] simulates until the whole graph is
     infected and returns [infec(source)], or [None] on hitting the cap.
-    Defaults match {!Cobra.run_cover}. *)
+    Defaults match {!Cobra.run_cover}, including the meaning of
+    [rng_mode] / [pool] / [dense_threshold]. *)
 
 val run_trajectory :
   Cobra_graph.Graph.t -> Cobra_prng.Rng.t -> ?branching:Process.branching -> ?lazy_:bool ->
-  ?max_rounds:int -> source:int -> unit -> trajectory option
+  ?max_rounds:int -> ?pool:Cobra_parallel.Pool.t -> ?rng_mode:Process.rng_mode ->
+  ?dense_threshold:int -> source:int -> unit -> trajectory option
 (** As {!run_infection}, additionally recording infection and candidate
     set sizes per round (at O(m) extra cost per round for the candidate
     sets). *)
 
 val infected_after :
   Cobra_graph.Graph.t -> Cobra_prng.Rng.t -> ?branching:Process.branching -> ?lazy_:bool ->
+  ?pool:Cobra_parallel.Pool.t -> ?rng_mode:Process.rng_mode -> ?dense_threshold:int ->
   rounds:int -> source:int -> unit -> Cobra_bitset.Bitset.t
 (** [infected_after g rng ~rounds ~source ()] runs exactly [rounds]
     rounds and returns [A_rounds] — the object on the BIPS side of the

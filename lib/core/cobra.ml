@@ -19,7 +19,23 @@ let check_start g start =
   if Graph.n g = 0 then invalid_arg "Cobra: empty graph";
   if start < 0 || start >= Graph.n g then invalid_arg "Cobra: start vertex out of range"
 
-let run_loop g rng ~obs ~branching ~lazy_ ~max_rounds ~record ~start =
+(* One closure per run selecting the stepping kernel: the sequential
+   stream (with the per-run sparse-path scratch buffer) or the keyed
+   kernels, optionally sharded over [pool].  The round loop itself is
+   identical either way. *)
+let stepper g rng ~branching ~lazy_ ~pool ~rng_mode ~dense_threshold =
+  match rng_mode with
+  | Process.Sequential ->
+      let scratch = Array.make Process.sparse_frontier_threshold 0 in
+      fun ~round:_ ~current ~next ->
+        Process.cobra_step ~scratch g rng ~branching ~lazy_ ~current ~next
+  | Process.Keyed { master } ->
+      let ctx = Process.make_keyed_ctx ?pool ?dense_threshold g ~master in
+      fun ~round ~current ~next ->
+        Process.cobra_step_keyed g ctx ~round ~branching ~lazy_ ~current ~next
+
+let run_loop g rng ~obs ~branching ~lazy_ ~max_rounds ~record ~start ~pool ~rng_mode
+    ~dense_threshold =
   let n = Graph.n g in
   (* Double buffer: the step writes into [next], then the roles swap —
      no per-round O(n/word) copy.  [next]'s stale contents are cleared
@@ -29,6 +45,7 @@ let run_loop g rng ~obs ~branching ~lazy_ ~max_rounds ~record ~start =
   let visited = Bitset.create n in
   Bitset.add !current start;
   Bitset.add visited start;
+  let step = stepper g rng ~branching ~lazy_ ~pool ~rng_mode ~dense_threshold in
   let transmissions = ref 0 in
   let visited_sizes = ref [ 1 ] and active_sizes = ref [ 1 ] in
   let rounds = ref 0 in
@@ -41,9 +58,7 @@ let run_loop g rng ~obs ~branching ~lazy_ ~max_rounds ~record ~start =
          incr rounds;
          if observing then
            Cobra_obs.Obs.emit obs (Cobra_obs.Trace.Round_started { round = !rounds });
-         let sent =
-           Process.cobra_step g rng ~branching ~lazy_ ~current:!current ~next:!next
-         in
+         let sent = step ~round:!rounds ~current:!current ~next:!next in
          transmissions := !transmissions + sent;
          let tmp = !current in
          current := !next;
@@ -80,23 +95,26 @@ let run_loop g rng ~obs ~branching ~lazy_ ~max_rounds ~record ~start =
         }
 
 let run_cover_detailed g rng ?(obs = Cobra_obs.Obs.null) ?(branching = Process.Fixed 2)
-    ?(lazy_ = false) ?max_rounds ~start () =
+    ?(lazy_ = false) ?max_rounds ?pool ?(rng_mode = Process.Sequential) ?dense_threshold
+    ~start () =
   check_start g start;
   Process.validate_branching branching;
   let max_rounds = Option.value max_rounds ~default:(default_max_rounds g) in
-  run_loop g rng ~obs ~branching ~lazy_ ~max_rounds ~record:true ~start
+  run_loop g rng ~obs ~branching ~lazy_ ~max_rounds ~record:true ~start ~pool ~rng_mode
+    ~dense_threshold
 
 let run_cover g rng ?(obs = Cobra_obs.Obs.null) ?(branching = Process.Fixed 2) ?(lazy_ = false)
-    ?max_rounds ~start () =
+    ?max_rounds ?pool ?(rng_mode = Process.Sequential) ?dense_threshold ~start () =
   check_start g start;
   Process.validate_branching branching;
   let max_rounds = Option.value max_rounds ~default:(default_max_rounds g) in
   Option.map
     (fun r -> r.rounds)
-    (run_loop g rng ~obs ~branching ~lazy_ ~max_rounds ~record:false ~start)
+    (run_loop g rng ~obs ~branching ~lazy_ ~max_rounds ~record:false ~start ~pool ~rng_mode
+       ~dense_threshold)
 
-let hitting_time g rng ?(branching = Process.Fixed 2) ?(lazy_ = false) ?max_rounds ~start ~target
-    () =
+let hitting_time g rng ?(branching = Process.Fixed 2) ?(lazy_ = false) ?max_rounds ?pool
+    ?(rng_mode = Process.Sequential) ?dense_threshold ~start ~target () =
   if Graph.n g = 0 then invalid_arg "Cobra.hitting_time: empty graph";
   if Bitset.capacity start <> Graph.n g then
     invalid_arg "Cobra.hitting_time: start set capacity does not match the graph";
@@ -109,12 +127,13 @@ let hitting_time g rng ?(branching = Process.Fixed 2) ?(lazy_ = false) ?max_roun
   else begin
     let current = ref (Bitset.copy start) in
     let next = ref (Bitset.create (Graph.n g)) in
+    let step = stepper g rng ~branching ~lazy_ ~pool ~rng_mode ~dense_threshold in
     let rounds = ref 0 in
     let result = ref None in
     (try
        while !rounds < max_rounds do
          incr rounds;
-         ignore (Process.cobra_step g rng ~branching ~lazy_ ~current:!current ~next:!next : int);
+         ignore (step ~round:!rounds ~current:!current ~next:!next : int);
          let tmp = !current in
          current := !next;
          next := tmp;

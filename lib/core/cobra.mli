@@ -20,8 +20,9 @@ type run = {
 
 val run_cover :
   Cobra_graph.Graph.t -> Cobra_prng.Rng.t -> ?obs:Cobra_obs.Obs.t ->
-  ?branching:Process.branching -> ?lazy_:bool -> ?max_rounds:int -> start:int -> unit ->
-  int option
+  ?branching:Process.branching -> ?lazy_:bool -> ?max_rounds:int ->
+  ?pool:Cobra_parallel.Pool.t -> ?rng_mode:Process.rng_mode -> ?dense_threshold:int ->
+  start:int -> unit -> int option
 (** [run_cover g rng ~start ()] simulates until coverage and returns the
     number of rounds, or [None] if [max_rounds] (default
     [10^7 / sqrt n], at least [10^5]) elapses first.  Defaults:
@@ -33,18 +34,27 @@ val run_cover :
     round's transmissions.  Observability never reads the RNG, so the
     run is bit-identical with it on or off.
 
+    [rng_mode] (default [Sequential]) selects the randomness model
+    (see {!Process.rng_mode}).  Under [Keyed _] the passed [rng] is
+    never read, and [pool] shards every dense round over its domains
+    with results bit-identical for any pool size; [dense_threshold]
+    tunes (only) when the sharded path engages.  Under [Sequential]
+    both [pool] and [dense_threshold] are ignored.
+
     @raise Invalid_argument if [start] is out of range or the graph is
     empty. *)
 
 val run_cover_detailed :
   Cobra_graph.Graph.t -> Cobra_prng.Rng.t -> ?obs:Cobra_obs.Obs.t ->
-  ?branching:Process.branching -> ?lazy_:bool -> ?max_rounds:int -> start:int -> unit ->
-  run option
+  ?branching:Process.branching -> ?lazy_:bool -> ?max_rounds:int ->
+  ?pool:Cobra_parallel.Pool.t -> ?rng_mode:Process.rng_mode -> ?dense_threshold:int ->
+  start:int -> unit -> run option
 (** As {!run_cover} but records the trajectory. *)
 
 val hitting_time :
   Cobra_graph.Graph.t -> Cobra_prng.Rng.t -> ?branching:Process.branching -> ?lazy_:bool ->
-  ?max_rounds:int -> start:Cobra_bitset.Bitset.t -> target:int -> unit -> int option
+  ?max_rounds:int -> ?pool:Cobra_parallel.Pool.t -> ?rng_mode:Process.rng_mode ->
+  ?dense_threshold:int -> start:Cobra_bitset.Bitset.t -> target:int -> unit -> int option
 (** [hitting_time g rng ~start ~target ()] is [Hit(target)], the first
     round at which [target] holds a particle when [C_0 = start] — the
     quantity related to BIPS by the duality Theorem 1.3.  Round 0 counts:

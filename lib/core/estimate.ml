@@ -31,11 +31,7 @@ let start_heuristic g =
 let trial_codec =
   Cobra_parallel.Journal.(pair float_ float_)
 
-let collect ?obs ~pool ~master_seed ~trials run_one =
-  if trials < 1 then invalid_arg "Estimate: trials must be >= 1";
-  let obs =
-    Cobra_parallel.Montecarlo.run ?obs ~codec:trial_codec ~pool ~master_seed ~trials run_one
-  in
+let summarise obs ~trials =
   let completed = Array.of_list (List.filter (fun (v, _) -> v >= 0.0) (Array.to_list obs)) in
   let censored = trials - Array.length completed in
   if Array.length completed = 0 then
@@ -59,11 +55,44 @@ let collect ?obs ~pool ~master_seed ~trials run_one =
     }
   end
 
+let collect ?obs ~pool ~master_seed ~trials run_one =
+  if trials < 1 then invalid_arg "Estimate: trials must be >= 1";
+  let obs =
+    Cobra_parallel.Montecarlo.run ?obs ~codec:trial_codec ~pool ~master_seed ~trials run_one
+  in
+  summarise obs ~trials
+
+(* Serial trial loop for keyed-mode estimates: the pool accelerates the
+   rounds {e inside} each trial, so trials must not themselves be pool
+   jobs (no nested submission).  Per-trial master seeds come from the
+   same [seed_of_pair] map Montecarlo uses for its per-trial streams. *)
+let collect_keyed ~trials run_one =
+  if trials < 1 then invalid_arg "Estimate: trials must be >= 1";
+  summarise (Array.init trials (fun trial -> run_one ~trial)) ~trials
+
+let trial_master ~master_seed ~trial =
+  Int64.to_int (Cobra_prng.Splitmix64.seed_of_pair (Int64.of_int master_seed) trial)
+  land max_int
+
 let cover_time ?obs ~pool ~master_seed ~trials ?branching ?lazy_ ?max_rounds ?start g =
   let start = match start with Some s -> s | None -> start_heuristic g in
   collect ?obs ~pool ~master_seed ~trials (fun ~trial rng ->
       ignore trial;
       match Cobra.run_cover_detailed g rng ?branching ?lazy_ ?max_rounds ~start () with
+      | Some r -> (float_of_int r.rounds, float_of_int r.transmissions)
+      | None -> (-1.0, nan))
+
+let cover_time_keyed ?pool ?dense_threshold ~master_seed ~trials ?branching ?lazy_ ?max_rounds
+    ?start g =
+  let start = match start with Some s -> s | None -> start_heuristic g in
+  let rng = Cobra_prng.Rng.create 0 in
+  (* never read under [Keyed] *)
+  collect_keyed ~trials (fun ~trial ->
+      let master = trial_master ~master_seed ~trial in
+      match
+        Cobra.run_cover_detailed g rng ?branching ?lazy_ ?max_rounds ?pool
+          ~rng_mode:(Process.Keyed { master }) ?dense_threshold ~start ()
+      with
       | Some r -> (float_of_int r.rounds, float_of_int r.transmissions)
       | None -> (-1.0, nan))
 
@@ -73,6 +102,22 @@ let infection_time ?obs ~pool ~master_seed ~trials ?branching ?lazy_ ?max_rounds
     collect ?obs ~pool ~master_seed ~trials (fun ~trial rng ->
         ignore trial;
         match Bips.run_infection g rng ?branching ?lazy_ ?max_rounds ~source () with
+        | Some t -> (float_of_int t, nan)
+        | None -> (-1.0, nan))
+  in
+  { r with mean_transmissions = nan }
+
+let infection_time_keyed ?pool ?dense_threshold ~master_seed ~trials ?branching ?lazy_
+    ?max_rounds ?source g =
+  let source = match source with Some s -> s | None -> start_heuristic g in
+  let rng = Cobra_prng.Rng.create 0 in
+  let r =
+    collect_keyed ~trials (fun ~trial ->
+        let master = trial_master ~master_seed ~trial in
+        match
+          Bips.run_infection g rng ?branching ?lazy_ ?max_rounds ?pool
+            ~rng_mode:(Process.Keyed { master }) ?dense_threshold ~source ()
+        with
         | Some t -> (float_of_int t, nan)
         | None -> (-1.0, nan))
   in

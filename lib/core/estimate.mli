@@ -33,12 +33,37 @@ val cover_time :
     per-trial runners, which execute on worker domains.
     @raise Invalid_argument if [trials < 1]. *)
 
+val trial_master :
+  master_seed:int -> trial:int -> int
+(** The per-trial master seed the [_keyed] estimators pass to
+    {!Process.rng_mode}'s [Keyed] — the non-negative truncation of the
+    same pair-mixing map {!Cobra_prng.Rng.for_trial} seeds trial
+    streams with.  Exposed so drivers can replay a single trial. *)
+
+val cover_time_keyed :
+  ?pool:Cobra_parallel.Pool.t -> ?dense_threshold:int -> master_seed:int -> trials:int ->
+  ?branching:Process.branching -> ?lazy_:bool -> ?max_rounds:int -> ?start:int ->
+  Cobra_graph.Graph.t -> result
+(** {!cover_time} under the keyed randomness model
+    ({!Process.rng_mode}): trials run serially in the calling thread
+    and the pool parallelises the rounds {e inside} each trial instead
+    — the right shape when single runs are large (one big graph) rather
+    than numerous.  Per-trial master seeds derive from [master_seed] by
+    the same pair-mixing map the parallel driver uses, and results are
+    bit-identical for any [pool] (including none). *)
+
 val infection_time :
   ?obs:Cobra_obs.Obs.t -> pool:Cobra_parallel.Pool.t -> master_seed:int -> trials:int ->
   ?branching:Process.branching -> ?lazy_:bool -> ?max_rounds:int -> ?source:int ->
   Cobra_graph.Graph.t -> result
 (** BIPS infection time with persistent source [source] (default
     {!start_heuristic}). *)
+
+val infection_time_keyed :
+  ?pool:Cobra_parallel.Pool.t -> ?dense_threshold:int -> master_seed:int -> trials:int ->
+  ?branching:Process.branching -> ?lazy_:bool -> ?max_rounds:int -> ?source:int ->
+  Cobra_graph.Graph.t -> result
+(** {!infection_time} under the keyed model; see {!cover_time_keyed}. *)
 
 val walk_cover_time :
   ?obs:Cobra_obs.Obs.t -> pool:Cobra_parallel.Pool.t -> master_seed:int -> trials:int ->

@@ -1,8 +1,12 @@
 module Graph = Cobra_graph.Graph
 module Bitset = Cobra_bitset.Bitset
 module Rng = Cobra_prng.Rng
+module Keyed = Cobra_prng.Keyed
+module Pool = Cobra_parallel.Pool
 
 type branching = Fixed of int | Bernoulli of float
+
+type rng_mode = Sequential | Keyed of { master : int }
 
 let validate_branching = function
   | Fixed b -> if b < 1 then invalid_arg "Process: branching factor must be >= 1"
@@ -30,7 +34,7 @@ let select g rng ~lazy_ u =
    identical on both paths. *)
 let sparse_frontier_threshold = 64
 
-let cobra_step g rng ~branching ~lazy_ ~current ~next =
+let cobra_step ?scratch g rng ~branching ~lazy_ ~current ~next =
   Bitset.clear next;
   let transmissions = ref 0 in
   let visit u =
@@ -43,10 +47,20 @@ let cobra_step g rng ~branching ~lazy_ ~current ~next =
   in
   let c = Bitset.cardinal current in
   if c > 0 && c <= sparse_frontier_threshold then begin
-    let members = Bitset.to_array current in
-    for i = 0 to Array.length members - 1 do
-      visit members.(i)
-    done
+    (* A caller-provided scratch buffer removes the only per-round
+       allocation of the sparse path; members come out in the same
+       increasing order either way, so the draw sequence is unchanged. *)
+    match scratch with
+    | Some buf when Array.length buf >= c ->
+        let m = Bitset.members_into current buf in
+        for i = 0 to m - 1 do
+          visit (Array.unsafe_get buf i)
+        done
+    | _ ->
+        let members = Bitset.to_array current in
+        for i = 0 to Array.length members - 1 do
+          visit members.(i)
+        done
   end
   else Bitset.iter visit current;
   !transmissions
@@ -55,27 +69,36 @@ let cobra_step_without_replacement g rng ~b ~current ~next =
   if b < 1 then invalid_arg "Process: branching factor must be >= 1";
   Bitset.clear next;
   let transmissions = ref 0 in
+  (* Floyd's sample holds at most [b] distinct indices; one flat buffer
+     reused across vertices replaces the per-vertex list (and its O(b²)
+     [List.mem] over boxed cells) of the original implementation. *)
+  let chosen = Array.make b 0 in
   Bitset.iter
     (fun u ->
       let d = Graph.degree g u in
-      if d <= b then
+      if d <= b then begin
         (* Fewer neighbours than the fan-out: inform all of them. *)
-        Graph.iter_neighbors g u (fun v ->
-            Bitset.add next v;
-            incr transmissions)
+        Graph.iter_neighbors g u (fun v -> Bitset.unsafe_add next v);
+        transmissions := !transmissions + d
+      end
       else begin
-        (* Floyd's algorithm: sample b distinct indices from [0, d). *)
-        let chosen = ref [] in
+        (* Floyd's algorithm: sample b distinct indices from [0, d).
+           Draw order matches the list-based version exactly, so pinned
+           goldens are unaffected. *)
+        let k = ref 0 in
         for j = d - b to d - 1 do
           let r = Rng.int_below rng (j + 1) in
-          let pick = if List.mem r !chosen then j else r in
-          chosen := pick :: !chosen
+          let dup = ref false in
+          for i = 0 to !k - 1 do
+            if Array.unsafe_get chosen i = r then dup := true
+          done;
+          Array.unsafe_set chosen !k (if !dup then j else r);
+          incr k
         done;
-        List.iter
-          (fun i ->
-            Bitset.add next (Graph.neighbor g u i);
-            incr transmissions)
-          !chosen
+        for i = 0 to !k - 1 do
+          Bitset.unsafe_add next (Graph.unsafe_neighbor g u (Array.unsafe_get chosen i))
+        done;
+        transmissions := !transmissions + b
       end)
     current;
   !transmissions
@@ -110,6 +133,163 @@ let sis_step g rng ~branching ~lazy_ ~current ~next =
     done;
     if !infected then Bitset.unsafe_add next u
   done
+
+(* --- keyed, domain-shardable step kernels ---
+
+   The sequential kernels above thread one stream through the round, so
+   results depend on iteration order.  The keyed kernels draw every
+   vertex's randomness from the counter-based [Keyed] stream positioned
+   at (round, vertex): the round becomes a pure map over vertices, and a
+   pool can shard it over domains with bit-identical results for any
+   domain count — including the serial fallback below the density
+   threshold. *)
+
+type keyed_ctx = {
+  streams : Keyed.t array; (* one cursor per shard *)
+  scratch : Bitset.t array; (* per-shard next buffers; [||] when serial *)
+  shard_tx : int array;
+  members : int array; (* sparse-path frontier buffer *)
+  pool : Pool.t option;
+  nshards : int;
+  dense_threshold : int;
+}
+
+(* Below this frontier/universe size a parallel_for costs more than the
+   round; the serial keyed path is taken (results are identical either
+   way, so this is purely a scheduling decision). *)
+let default_dense_threshold = 1024
+
+let make_keyed_ctx ?pool ?(dense_threshold = default_dense_threshold) g ~master =
+  let nshards = match pool with None -> 1 | Some p -> Pool.size p in
+  let n = Graph.n g in
+  {
+    streams = Array.init nshards (fun _ -> Keyed.create ~master);
+    scratch = (if nshards > 1 then Array.init nshards (fun _ -> Bitset.create n) else [||]);
+    shard_tx = Array.make nshards 0;
+    members = Array.make sparse_frontier_threshold 0;
+    pool;
+    nshards;
+    dense_threshold;
+  }
+
+let[@inline] keyed_fanout k = function
+  | Fixed b -> b
+  | Bernoulli rho -> if Keyed.bernoulli k rho then 2 else 1
+
+let[@inline] keyed_select g k ~lazy_ u =
+  if lazy_ && Keyed.bool k then u else Graph.unsafe_keyed_neighbor g k u
+
+(* Canonical per-vertex draw sequence of the keyed COBRA step: fan-out
+   decision first, then the selections — the same order as the
+   sequential kernel, so variant alignment (Bernoulli 1.0 ≡ Fixed 2)
+   carries over. *)
+let[@inline] cobra_keyed_visit g k ~round ~branching ~lazy_ ~into u =
+  Keyed.position k ~round ~vertex:u;
+  let fanout = keyed_fanout k branching in
+  for _ = 1 to fanout do
+    Bitset.unsafe_add into (keyed_select g k ~lazy_ u)
+  done;
+  fanout
+
+let cobra_step_keyed g ctx ~round ~branching ~lazy_ ~current ~next =
+  let c = Bitset.cardinal current in
+  match ctx.pool with
+  | Some pool when ctx.nshards > 1 && c > ctx.dense_threshold ->
+      (* Dense phase: shard the frontier's word array.  Each shard scans
+         its word range into a private scratch set (fan-out targets land
+         anywhere in the universe, so outputs cannot share [next]
+         directly); the scratches are then OR-reduced into [next],
+         itself sharded by word range. *)
+      let nw = Bitset.num_words current in
+      let ns = ctx.nshards in
+      Pool.parallel_for pool ~lo:0 ~hi:ns ~chunk:1 (fun s ->
+          let lo = s * nw / ns and hi = (s + 1) * nw / ns in
+          let into = ctx.scratch.(s) in
+          Bitset.clear into;
+          let k = ctx.streams.(s) in
+          let tx = ref 0 in
+          Bitset.iter_range
+            (fun u -> tx := !tx + cobra_keyed_visit g k ~round ~branching ~lazy_ ~into u)
+            current ~lo ~hi;
+          ctx.shard_tx.(s) <- !tx);
+      Pool.parallel_for pool ~lo:0 ~hi:ns ~chunk:1 (fun s ->
+          let lo = s * nw / ns and hi = (s + 1) * nw / ns in
+          Bitset.union_words_range ~into:next ctx.scratch ~lo ~hi);
+      Bitset.refresh_cardinal next;
+      Array.fold_left ( + ) 0 ctx.shard_tx
+  | _ ->
+      (* Sparse (or poolless) phase: the sequential fast path, with
+         keyed per-vertex draws so the result matches the sharded path
+         bit for bit. *)
+      Bitset.clear next;
+      let k = ctx.streams.(0) in
+      let tx = ref 0 in
+      let visit u =
+        tx := !tx + cobra_keyed_visit g k ~round ~branching ~lazy_ ~into:next u
+      in
+      if c > 0 && c <= sparse_frontier_threshold then begin
+        let m = Bitset.members_into current ctx.members in
+        for i = 0 to m - 1 do
+          visit (Array.unsafe_get ctx.members i)
+        done
+      end
+      else Bitset.iter visit current;
+      !tx
+
+let[@inline] keyed_infected g k ~round ~branching ~lazy_ ~current u =
+  Keyed.position k ~round ~vertex:u;
+  let fanout = keyed_fanout k branching in
+  let infected = ref false in
+  for _ = 1 to fanout do
+    if Bitset.mem current (keyed_select g k ~lazy_ u) then infected := true
+  done;
+  !infected
+
+(* BIPS/SIS scan every vertex and write only bit [u], so shards aligned
+   to word boundaries write disjoint words of [next] directly — no
+   scratch sets, no merge; one cardinality sweep repairs the count. *)
+let[@inline] keyed_scan_par pool ctx ~n ~next body =
+  let nw = Bitset.num_words next in
+  let ns = ctx.nshards in
+  Bitset.clear next;
+  Pool.parallel_for pool ~lo:0 ~hi:ns ~chunk:1 (fun s ->
+      let vlo = s * nw / ns * Bitset.bits_per_word in
+      let vhi = min n ((s + 1) * nw / ns * Bitset.bits_per_word) in
+      let k = ctx.streams.(s) in
+      for u = vlo to vhi - 1 do
+        body k u
+      done);
+  Bitset.refresh_cardinal next
+
+let bips_step_keyed g ctx ~round ~branching ~lazy_ ~source ~current ~next =
+  let n = Graph.n g in
+  (match ctx.pool with
+  | Some pool when ctx.nshards > 1 && n > ctx.dense_threshold ->
+      keyed_scan_par pool ctx ~n ~next (fun k u ->
+          if u <> source && keyed_infected g k ~round ~branching ~lazy_ ~current u then
+            Bitset.unsafe_set_bit next u)
+  | _ ->
+      Bitset.clear next;
+      let k = ctx.streams.(0) in
+      for u = 0 to n - 1 do
+        if u <> source && keyed_infected g k ~round ~branching ~lazy_ ~current u then
+          Bitset.unsafe_add next u
+      done);
+  Bitset.add next source
+
+let sis_step_keyed g ctx ~round ~branching ~lazy_ ~current ~next =
+  let n = Graph.n g in
+  match ctx.pool with
+  | Some pool when ctx.nshards > 1 && n > ctx.dense_threshold ->
+      keyed_scan_par pool ctx ~n ~next (fun k u ->
+          if keyed_infected g k ~round ~branching ~lazy_ ~current u then
+            Bitset.unsafe_set_bit next u)
+  | _ ->
+      Bitset.clear next;
+      let k = ctx.streams.(0) in
+      for u = 0 to n - 1 do
+        if keyed_infected g k ~round ~branching ~lazy_ ~current u then Bitset.unsafe_add next u
+      done
 
 let bips_candidate_set g ~source ~current ~into =
   Bitset.clear into;

@@ -32,6 +32,19 @@
     functions write into a caller-provided [next] set so the simulation
     loop runs allocation-free. *)
 
+type rng_mode =
+  | Sequential
+      (** One mutable stream threaded through the run in iteration
+          order — the historical model, and the one the pinned goldens
+          in [test_determinism] are recorded under. *)
+  | Keyed of { master : int }
+      (** Counter-based keyed randomness ({!Cobra_prng.Keyed}): every
+          draw is a pure function of [(master, round, vertex, draw
+          index)], so a round can be sharded over any number of domains
+          with bit-identical results.  Keyed runs are {e not}
+          draw-compatible with [Sequential] runs — the two models define
+          different (equally valid) samples of the same process law. *)
+
 type branching =
   | Fixed of int  (** [b] independent uniform neighbour choices. *)
   | Bernoulli of float
@@ -58,13 +71,25 @@ val validate_branching : branching -> unit
 val expected_branching_factor : branching -> float
 (** [Fixed b -> float b]; [Bernoulli rho -> 1 + rho]. *)
 
+val sparse_frontier_threshold : int
+(** Frontier cardinality at or below which {!cobra_step} iterates a
+    materialised member array instead of the word-scan iterator.  A
+    [?scratch] buffer of at least this length removes the sparse path's
+    per-round allocation. *)
+
 val cobra_step :
-  Cobra_graph.Graph.t -> Cobra_prng.Rng.t -> branching:branching -> lazy_:bool ->
-  current:Cobra_bitset.Bitset.t -> next:Cobra_bitset.Bitset.t -> int
+  ?scratch:int array -> Cobra_graph.Graph.t -> Cobra_prng.Rng.t -> branching:branching ->
+  lazy_:bool -> current:Cobra_bitset.Bitset.t -> next:Cobra_bitset.Bitset.t -> int
 (** [cobra_step g rng ~branching ~lazy_ ~current ~next] clears [next] and
     fills it with [C_{t+1}] given [C_t = current].  Returns the number of
     transmissions performed this round (one per particle sent, counting
-    lazy self-selections). *)
+    lazy self-selections).
+
+    [scratch], when provided with length at least
+    [min (cardinal current) sparse_frontier_threshold], is used by the
+    sparse-frontier fast path in place of a freshly allocated member
+    array; the run loops pass a per-run buffer.  Draw order and results
+    are identical with or without it. *)
 
 val cobra_step_without_replacement :
   Cobra_graph.Graph.t -> Cobra_prng.Rng.t -> b:int ->
@@ -94,6 +119,56 @@ val sis_step :
     that the persistent source forces eventual full infection is
     exactly the statement that BIPS removes the first one.  Used by the
     E15 extension experiment. *)
+
+(** {1 Keyed, domain-shardable step kernels}
+
+    The kernels above thread one sequential stream through the round, so
+    their results depend on iteration order and cannot be sharded.  The
+    [_keyed] kernels draw each vertex's randomness from a counter-based
+    stream positioned at [(round, vertex)] (see {!Cobra_prng.Keyed} and
+    {!rng_mode}): the round is a pure map over vertices, and with a pool
+    it executes sharded over domains — COBRA over the frontier's word
+    ranges into per-shard scratch sets that are OR-reduced, BIPS/SIS
+    over word-aligned vertex ranges written directly into disjoint words
+    of [next].  Results are bit-identical for every pool size (including
+    none); a density threshold keeps sparse rounds on the serial path.
+
+    The pool's nesting rule applies: call these only from the pool's
+    submitting thread, never from inside another parallel job (in
+    particular not from a [Montecarlo] trial body running on the same
+    pool). *)
+
+type keyed_ctx
+(** Per-run state of the keyed kernels: one keyed cursor and scratch
+    set per shard, the sparse-path buffer, and the scheduling knobs.
+    Create once per run; reuse across runs only when the graph
+    (capacity) and master seed are the same. *)
+
+val make_keyed_ctx :
+  ?pool:Cobra_parallel.Pool.t -> ?dense_threshold:int -> Cobra_graph.Graph.t ->
+  master:int -> keyed_ctx
+(** [make_keyed_ctx g ~master] builds the context for keyed rounds of
+    master seed [master] on [g].  With [pool], dense rounds shard over
+    [Pool.size pool] shards; without it every round runs serially.
+    [dense_threshold] (default 1024) is the frontier (COBRA) or universe
+    (BIPS/SIS) size above which the sharded path engages — results do
+    not depend on it, only scheduling does. *)
+
+val cobra_step_keyed :
+  Cobra_graph.Graph.t -> keyed_ctx -> round:int -> branching:branching -> lazy_:bool ->
+  current:Cobra_bitset.Bitset.t -> next:Cobra_bitset.Bitset.t -> int
+(** Keyed {!cobra_step} for round number [round] (1-based, matching the
+    run loops' counter).  Returns the round's transmissions. *)
+
+val bips_step_keyed :
+  Cobra_graph.Graph.t -> keyed_ctx -> round:int -> branching:branching -> lazy_:bool ->
+  source:int -> current:Cobra_bitset.Bitset.t -> next:Cobra_bitset.Bitset.t -> unit
+(** Keyed {!bips_step}. *)
+
+val sis_step_keyed :
+  Cobra_graph.Graph.t -> keyed_ctx -> round:int -> branching:branching -> lazy_:bool ->
+  current:Cobra_bitset.Bitset.t -> next:Cobra_bitset.Bitset.t -> unit
+(** Keyed {!sis_step}. *)
 
 val bips_candidate_set :
   Cobra_graph.Graph.t -> source:int -> current:Cobra_bitset.Bitset.t ->

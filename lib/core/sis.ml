@@ -3,13 +3,24 @@ module Bitset = Cobra_bitset.Bitset
 
 type outcome = Extinct of int | Saturated of int | Censored
 
-let run_loop g rng ~branching ~lazy_ ~max_rounds ~record ~initial =
+let stepper g rng ~branching ~lazy_ ~pool ~rng_mode ~dense_threshold =
+  match rng_mode with
+  | Process.Sequential ->
+      fun ~round:_ ~current ~next -> Process.sis_step g rng ~branching ~lazy_ ~current ~next
+  | Process.Keyed { master } ->
+      let ctx = Process.make_keyed_ctx ?pool ?dense_threshold g ~master in
+      fun ~round ~current ~next ->
+        Process.sis_step_keyed g ctx ~round ~branching ~lazy_ ~current ~next
+
+let run_loop g rng ~branching ~lazy_ ~max_rounds ~record ~initial ~pool ~rng_mode
+    ~dense_threshold =
   let n = Graph.n g in
   if Bitset.capacity initial <> n then
     invalid_arg "Sis: initial set capacity does not match the graph";
   Process.validate_branching branching;
   let current = ref (Bitset.copy initial) in
   let next = ref (Bitset.create n) in
+  let step = stepper g rng ~branching ~lazy_ ~pool ~rng_mode ~dense_threshold in
   let sizes = ref [ Bitset.cardinal !current ] in
   let rounds = ref 0 in
   let outcome = ref Censored in
@@ -28,7 +39,7 @@ let run_loop g rng ~branching ~lazy_ ~max_rounds ~record ~initial =
      classify ();
      while !rounds < max_rounds do
        incr rounds;
-       Process.sis_step g rng ~branching ~lazy_ ~current:!current ~next:!next;
+       step ~round:!rounds ~current:!current ~next:!next;
        let tmp = !current in
        current := !next;
        next := tmp;
@@ -38,10 +49,15 @@ let run_loop g rng ~branching ~lazy_ ~max_rounds ~record ~initial =
    with Exit -> ());
   (!outcome, Array.of_list (List.rev !sizes))
 
-let run g rng ?(branching = Process.Fixed 2) ?(lazy_ = false) ?max_rounds ~initial () =
+let run g rng ?(branching = Process.Fixed 2) ?(lazy_ = false) ?max_rounds ?pool
+    ?(rng_mode = Process.Sequential) ?dense_threshold ~initial () =
   let max_rounds = Option.value max_rounds ~default:(Cobra.default_max_rounds g) in
-  fst (run_loop g rng ~branching ~lazy_ ~max_rounds ~record:false ~initial)
+  fst
+    (run_loop g rng ~branching ~lazy_ ~max_rounds ~record:false ~initial ~pool ~rng_mode
+       ~dense_threshold)
 
-let run_trajectory g rng ?(branching = Process.Fixed 2) ?(lazy_ = false) ?max_rounds ~initial () =
+let run_trajectory g rng ?(branching = Process.Fixed 2) ?(lazy_ = false) ?max_rounds ?pool
+    ?(rng_mode = Process.Sequential) ?dense_threshold ~initial () =
   let max_rounds = Option.value max_rounds ~default:(Cobra.default_max_rounds g) in
-  run_loop g rng ~branching ~lazy_ ~max_rounds ~record:true ~initial
+  run_loop g rng ~branching ~lazy_ ~max_rounds ~record:true ~initial ~pool ~rng_mode
+    ~dense_threshold

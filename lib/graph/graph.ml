@@ -119,6 +119,19 @@ let[@inline] unsafe_random_neighbor t rng u =
   let d = Array.unsafe_get t.offsets (u + 1) - lo in
   Array.unsafe_get t.adj (lo + Cobra_prng.Rng.int_below rng d)
 
+(* Keyed-draw twin of [unsafe_random_neighbor]: same addressing, the
+   index comes from a counter-based stream instead of the sequential
+   one, so sharded step kernels can call it from any domain. *)
+let[@inline] unsafe_keyed_neighbor t k u =
+  let lo = Array.unsafe_get t.offsets u in
+  let d = Array.unsafe_get t.offsets (u + 1) - lo in
+  Array.unsafe_get t.adj (lo + Cobra_prng.Keyed.int_below k d)
+
+(* [neighbor] without the vertex/index checks, for inner loops whose
+   indices come from [int_below (degree u)]. *)
+let[@inline] unsafe_neighbor t u i =
+  Array.unsafe_get t.adj (Array.unsafe_get t.offsets u + i)
+
 let random_neighbor t rng u =
   check_vertex t u;
   let lo = t.offsets.(u) in

@@ -55,6 +55,17 @@ val unsafe_random_neighbor : t -> Cobra_prng.Rng.t -> int -> int
     construction.  Consumes exactly the same RNG draw as
     [random_neighbor]; out-of-range [u] is undefined behaviour. *)
 
+val unsafe_keyed_neighbor : t -> Cobra_prng.Keyed.t -> int -> int
+(** [unsafe_keyed_neighbor g k u] is {!unsafe_random_neighbor} drawing
+    its index from a counter-based {!Cobra_prng.Keyed} stream — the
+    neighbour selection primitive of the domain-sharded step kernels.
+    Out-of-range or isolated [u] is undefined behaviour. *)
+
+val unsafe_neighbor : t -> int -> int -> int
+(** [neighbor] without the vertex-range and index checks, for inner
+    loops whose indices are in [0, degree u) by construction.
+    Out-of-range arguments are undefined behaviour. *)
+
 val neighbors : t -> int -> int array
 (** Fresh array of the neighbours of [u], increasing order. *)
 

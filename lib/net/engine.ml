@@ -1,4 +1,14 @@
 module Graph = Cobra_graph.Graph
+module Keyed = Cobra_prng.Keyed
+module Pool = Cobra_parallel.Pool
+
+(* Stream tags for keyed-mode phase randomness: each phase of each
+   round draws every vertex's randomness from an independent generator
+   seeded by (master, stream, round, vertex), so results do not depend
+   on vertex processing order. *)
+let stream_emit = 0
+let stream_respond = 1
+let stream_update = 2
 
 module Make (P : Protocol.S) = struct
   type t = {
@@ -6,6 +16,8 @@ module Make (P : Protocol.S) = struct
     states : P.state array;
     ever_informed : bool array;
     obs : Cobra_obs.Obs.t;
+    rng_mode : Cobra_core.Process.rng_mode;
+    pool : Pool.t option;
     mutable informed_count : int;
     mutable rounds : int;
     mutable messages : int;
@@ -19,7 +31,8 @@ module Make (P : Protocol.S) = struct
     done;
     t.informed_count <- !count
 
-  let create ?(obs = Cobra_obs.Obs.null) g ~start =
+  let create ?(obs = Cobra_obs.Obs.null) ?pool ?(rng_mode = Cobra_core.Process.Sequential) g
+      ~start =
     let n = Graph.n g in
     if n = 0 then invalid_arg "Engine.create: empty graph";
     if start < 0 || start >= n then invalid_arg "Engine.create: start out of range";
@@ -30,6 +43,8 @@ module Make (P : Protocol.S) = struct
         states;
         ever_informed = Array.make n false;
         obs;
+        rng_mode;
+        pool;
         informed_count = 0;
         rounds = 0;
         messages = 0;
@@ -63,19 +78,33 @@ module Make (P : Protocol.S) = struct
     let messages_before = t.messages in
     if observing then
       Cobra_obs.Obs.emit t.obs (Cobra_obs.Trace.Round_started { round = t.rounds + 1 });
+    (* In keyed mode every vertex of every phase gets its own derived
+       generator, so no draw depends on processing order; in sequential
+       mode all phases thread the caller's stream in index order, as the
+       pinned goldens expect. *)
+    let vertex_rng =
+      match t.rng_mode with
+      | Cobra_core.Process.Sequential -> fun ~stream:_ _ -> rng
+      | Cobra_core.Process.Keyed { master } ->
+          let round = t.rounds + 1 in
+          fun ~stream vertex ->
+            Cobra_prng.Xoshiro.create (Keyed.derive_seed ~master ~stream ~round ~vertex)
+    in
     (* Phase 1: requests.  Inboxes carry (sender, message). *)
     let requests : (int * P.message) list array = Array.make n [] in
     for v = 0 to n - 1 do
+      let rng_v = vertex_rng ~stream:stream_emit v in
       List.iter
         (fun (dest, msg) ->
           check_destination t v dest;
           t.messages <- t.messages + 1;
           requests.(dest) <- (v, msg) :: requests.(dest))
-        (P.emit t.graph rng ~vertex:v t.states.(v))
+        (P.emit t.graph rng_v ~vertex:v t.states.(v))
     done;
     (* Phase 2: replies to each received request. *)
     let replies : P.message list array = Array.make n [] in
     for v = 0 to n - 1 do
+      let rng_v = vertex_rng ~stream:stream_respond v in
       List.iter
         (fun (sender, msg) ->
           List.iter
@@ -83,16 +112,26 @@ module Make (P : Protocol.S) = struct
               check_destination t v dest;
               t.messages <- t.messages + 1;
               replies.(dest) <- reply :: replies.(dest))
-            (P.respond t.graph rng ~vertex:v t.states.(v) ~sender msg))
+            (P.respond t.graph rng_v ~vertex:v t.states.(v) ~sender msg))
         requests.(v)
     done;
-    (* State update from both inboxes. *)
-    for v = 0 to n - 1 do
+    (* State update from both inboxes.  Vertex [v]'s update reads only
+       its own inboxes and writes only [states.(v)], so in keyed mode
+       this phase shards over the pool; the message counters are not
+       touched here (updates send nothing). *)
+    let update v =
+      let rng_v = vertex_rng ~stream:stream_update v in
       t.states.(v) <-
-        P.update t.graph rng ~vertex:v t.states.(v)
+        P.update t.graph rng_v ~vertex:v t.states.(v)
           ~requests:(List.map snd requests.(v))
           ~replies:replies.(v)
-    done;
+    in
+    (match (t.rng_mode, t.pool) with
+    | Cobra_core.Process.Keyed _, Some pool -> Pool.parallel_for pool ~lo:0 ~hi:n update
+    | _ ->
+        for v = 0 to n - 1 do
+          update v
+        done);
     t.rounds <- t.rounds + 1;
     refresh_informed t;
     if observing then

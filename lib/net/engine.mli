@@ -8,7 +8,9 @@
 module Make (P : Protocol.S) : sig
   type t
 
-  val create : ?obs:Cobra_obs.Obs.t -> Cobra_graph.Graph.t -> start:int -> t
+  val create :
+    ?obs:Cobra_obs.Obs.t -> ?pool:Cobra_parallel.Pool.t ->
+    ?rng_mode:Cobra_core.Process.rng_mode -> Cobra_graph.Graph.t -> start:int -> t
   (** Fresh network with the information placed at [start].  An enabled
       [obs] (default {!Cobra_obs.Obs.null}) receives a
       [Round_started]/[Round_ended] event pair per executed round; the
@@ -16,6 +18,15 @@ module Make (P : Protocol.S) : sig
       current informed-set size and the messages sent that round.  The
       engine never reads the RNG for observability, so runs are
       bit-identical with it on or off.
+
+      [rng_mode] (default [Sequential]) selects the randomness model.
+      Under [Keyed _] the engine never reads the RNG passed to
+      {!round}: each vertex of each phase draws from a generator seeded
+      by [(master, phase, round, vertex)], making the run independent
+      of processing order, and the state-update phase (whose vertices
+      are independent by the {!Protocol.S} contract) shards over
+      [pool] when one is given — with results bit-identical for any
+      pool size.  [pool] is ignored under [Sequential].
       @raise Invalid_argument on an empty graph or bad start. *)
 
   val graph : t -> Cobra_graph.Graph.t

@@ -1,0 +1,79 @@
+(* Counter-based keyed generator: draw [i] at position [key] is
+   [Splitmix64.mix (key + gamma * i)], i.e. the [i]-th output of a
+   SplitMix64 state seeded at [key].  Positions are derived from
+   (master, stream, round, vertex) with two finaliser applications, so
+   structured lattices of nearby rounds/vertices land on decorrelated
+   keys. *)
+
+type t = {
+  master : int64; (* pre-mixed master seed *)
+  mutable key : int64; (* position key for (stream, round, vertex) *)
+  mutable ctr : int64; (* key + gamma * draw_index *)
+}
+
+let gamma = Splitmix64.gamma
+
+let key_of ~master ~stream ~round ~vertex =
+  (* Two mix rounds: one folds the round (and stream tag) into the
+     master, one folds the vertex in.  Each is a bijection of the 64-bit
+     space, so distinct tuples with vertex < 2^61 map to distinct
+     pre-images — collisions are only those of the finaliser itself. *)
+  let a = Splitmix64.mix (Int64.add master (Int64.of_int ((round * 8) + stream))) in
+  Splitmix64.mix (Int64.add a (Int64.of_int vertex))
+
+let create ~master =
+  let master = Splitmix64.mix (Int64.of_int master) in
+  let key = key_of ~master ~stream:0 ~round:0 ~vertex:0 in
+  { master; key; ctr = key }
+
+let copy t = { master = t.master; key = t.key; ctr = t.ctr }
+
+let position ?(stream = 0) t ~round ~vertex =
+  let key = key_of ~master:t.master ~stream ~round ~vertex in
+  t.key <- key;
+  t.ctr <- key
+
+let derive_seed ~master ~stream ~round ~vertex =
+  key_of ~master:(Splitmix64.mix (Int64.of_int master)) ~stream ~round ~vertex
+
+let next64 t =
+  let v = Splitmix64.mix t.ctr in
+  t.ctr <- Int64.add t.ctr gamma;
+  v
+
+let bits30 t = Int64.to_int (Int64.shift_right_logical (next64 t) 34)
+
+(* Same masked-rejection scheme as [Xoshiro.int_below]: no modulo bias,
+   expected < 2 draws.  Rejections advance the counter, which is fine —
+   the draw sequence is still a pure function of the position. *)
+let int_below t n =
+  if n <= 0 then invalid_arg "Keyed.int_below: bound must be positive";
+  if n = 1 then 0
+  else begin
+    let mask =
+      let rec widen m = if m >= n - 1 then m else widen ((m lsl 1) lor 1) in
+      widen 1
+    in
+    if mask <= 0x3FFFFFFF then begin
+      let rec draw () =
+        let v = bits30 t land mask in
+        if v < n then v else draw ()
+      in
+      draw ()
+    end
+    else begin
+      let rec draw () =
+        let v = Int64.to_int (Int64.shift_right_logical (next64 t) 2) land mask in
+        if v < n then v else draw ()
+      in
+      draw ()
+    end
+  end
+
+let float01 t =
+  let bits = Int64.to_int (Int64.shift_right_logical (next64 t) 11) in
+  float_of_int bits *. 0x1.0p-53
+
+let bool t = Int64.compare (next64 t) 0L < 0
+
+let bernoulli t p = if p >= 1.0 then true else if p <= 0.0 then false else float01 t < p

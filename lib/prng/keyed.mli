@@ -1,0 +1,71 @@
+(** Counter-based keyed randomness for domain-parallel simulation steps.
+
+    The sequential {!Rng} threads one mutable stream through a round, so
+    the draws a vertex sees depend on how many draws every vertex before
+    it consumed — iteration order and any sharding of the round change
+    the results.  [Keyed.t] removes that coupling: every draw is a pure
+    function of the tuple [(master seed, stream, round, vertex, draw
+    index)], evaluated with the stateless {!Splitmix64.mix} finaliser.
+    Two consequences the parallel kernels rely on:
+
+    - {b schedule independence} — a round sharded over any number of
+      domains, in any order, produces bit-identical results, because no
+      draw depends on another vertex's draws;
+    - {b random access} — repositioning to a [(round, vertex)] pair is
+      two finaliser applications, so per-vertex streams cost no
+      allocation and no seeding loop.
+
+    A [Keyed.t] is a cheap mutable cursor (position + draw counter); each
+    worker domain owns one and repositions it per vertex.  Statistically
+    each position opens an independent SplitMix64 stream: the draw at
+    index [i] is [mix (key + gamma * i)], exactly the [i]-th output of a
+    SplitMix64 state seeded at [key]. *)
+
+type t
+(** Mutable cursor: the current position key and draw counter. *)
+
+val create : master:int -> t
+(** [create ~master] is a cursor over the keyed space of [master].  Equal
+    master seeds give equal draw functions.  The cursor starts positioned
+    at [~stream:0 ~round:0 ~vertex:0]. *)
+
+val copy : t -> t
+(** Independent cursor at the same position and draw counter. *)
+
+val position : ?stream:int -> t -> round:int -> vertex:int -> unit
+(** [position t ~round ~vertex] repositions the cursor and resets its
+    draw counter, making subsequent draws the canonical draw sequence of
+    [(master, stream, round, vertex)].  [stream] (default 0) separates
+    independent draw sequences for the same [(round, vertex)] — e.g. the
+    network engine's emit/respond/update phases.  Constant time, no
+    allocation. *)
+
+val derive_seed : master:int -> stream:int -> round:int -> vertex:int -> int64
+(** [derive_seed ~master ~stream ~round ~vertex] is the 64-bit position key the
+    cursor would use — suitable for seeding a full {!Xoshiro} state when
+    an API needs an [Rng.t] (e.g. per-vertex protocol callbacks) rather
+    than keyed draws. *)
+
+val next64 : t -> int64
+(** Next 64 output bits at the current position; advances the draw
+    counter. *)
+
+val int_below : t -> int -> int
+(** [int_below t n] is uniform on [\[0, n)]; masked rejection, no modulo
+    bias — the same scheme (and hence acceptance law) as
+    {!Xoshiro.int_below}.
+    @raise Invalid_argument if [n <= 0]. *)
+
+val float01 : t -> float
+(** Uniform on [\[0, 1)] with 53 bits of precision. *)
+
+val bool : t -> bool
+(** Fair coin flip. *)
+
+val bernoulli : t -> float -> bool
+(** [bernoulli t p] is [true] with probability [p].
+
+    Stream contract (same as {!Xoshiro.bernoulli}): when [p >= 1.0] or
+    [p <= 0.0] the outcome is certain and {e no draw is consumed} — the
+    counter does not advance.  Keyed kernels rely on this so that
+    [Bernoulli 1.0] branching replays draw-for-draw as [Fixed 2]. *)

@@ -23,6 +23,12 @@ val mix : int64 -> int64
     for counter value [x + gamma].  Useful to hash trial indices into
     seeds without allocating a state. *)
 
+val gamma : int64
+(** The golden-ratio increment [0x9E3779B97F4A7C15].  [mix (k + gamma * i)]
+    for [i = 0, 1, 2, ...] replays exactly the stream of a SplitMix64
+    state initialised at [k] — the identity {!Keyed} uses to turn [mix]
+    into a counter-based generator. *)
+
 val seed_of_pair : int64 -> int -> int64
 (** [seed_of_pair master i] derives a seed for sub-stream [i] of the master
     seed.  Distinct [(master, i)] pairs give (with overwhelming

@@ -3,7 +3,7 @@ module Graph = Cobra_graph.Graph
 (* Deflated power iteration for the dominant eigenvalue of
    [shift * I + sign * N] restricted to the orthogonal complement of the
    stationary direction.  Returns (rayleigh_quotient, eigenvector). *)
-let power_deflated ~shift ~sign ~tol ~max_iter ~seed g =
+let power_deflated ?pool ~shift ~sign ~tol ~max_iter ~seed g =
   let n = Graph.n g in
   let pi = Matvec.stationary_direction g in
   let rng = Cobra_prng.Rng.create seed in
@@ -20,7 +20,7 @@ let power_deflated ~shift ~sign ~tol ~max_iter ~seed g =
   let iter = ref 0 in
   while !continue_ && !iter < max_iter do
     incr iter;
-    Matvec.apply_normalized g x y;
+    Matvec.apply_normalized ?pool g x y;
     (* y := shift * x + sign * N x *)
     for i = 0 to n - 1 do
       y.(i) <- (shift *. x.(i)) +. (sign *. y.(i))
@@ -44,26 +44,27 @@ let power_deflated ~shift ~sign ~tol ~max_iter ~seed g =
   done;
   (!rayleigh, x)
 
-let second_eigenvalue ?(tol = 1e-10) ?(max_iter = 200_000) ?(seed = 1) g =
+let second_eigenvalue ?(tol = 1e-10) ?(max_iter = 200_000) ?(seed = 1) ?pool g =
   if Graph.n g = 0 then invalid_arg "Eigen.second_eigenvalue: empty graph";
   if Graph.n g = 1 then 0.0
   else begin
     (* Dominant deflated eigenvalue of I + N is 1 + lambda_2; of I - N it
        is 1 - lambda_n.  Both operators are PSD on connected graphs, so
        power iteration converges monotonically. *)
-    let top, _ = power_deflated ~shift:1.0 ~sign:1.0 ~tol ~max_iter ~seed g in
-    let bot, _ = power_deflated ~shift:1.0 ~sign:(-1.0) ~tol ~max_iter ~seed:(seed + 1) g in
+    let top, _ = power_deflated ?pool ~shift:1.0 ~sign:1.0 ~tol ~max_iter ~seed g in
+    let bot, _ = power_deflated ?pool ~shift:1.0 ~sign:(-1.0) ~tol ~max_iter ~seed:(seed + 1) g in
     let lambda2 = top -. 1.0 in
     let neg_lambda_n = bot -. 1.0 in
     Float.max 0.0 (Float.min 1.0 (Float.max lambda2 neg_lambda_n))
   end
 
-let eigenvalue_gap ?tol ?max_iter ?seed g = 1.0 -. second_eigenvalue ?tol ?max_iter ?seed g
+let eigenvalue_gap ?tol ?max_iter ?seed ?pool g =
+  1.0 -. second_eigenvalue ?tol ?max_iter ?seed ?pool g
 
-let second_eigenvector ?(tol = 1e-10) ?(max_iter = 200_000) ?(seed = 1) g =
+let second_eigenvector ?(tol = 1e-10) ?(max_iter = 200_000) ?(seed = 1) ?pool g =
   if Graph.n g = 0 then invalid_arg "Eigen.second_eigenvector: empty graph";
   let n = Graph.n g in
-  let r, v = power_deflated ~shift:1.0 ~sign:1.0 ~tol ~max_iter ~seed g in
+  let r, v = power_deflated ?pool ~shift:1.0 ~sign:1.0 ~tol ~max_iter ~seed g in
   let lambda2 = r -. 1.0 in
   (* Convert the eigenvector of N into one of P: v_P = D^{-1/2} v_N. *)
   let vp =
@@ -74,12 +75,12 @@ let second_eigenvector ?(tol = 1e-10) ?(max_iter = 200_000) ?(seed = 1) g =
   Matvec.scale_to_unit vp;
   (lambda2, vp)
 
-let lazy_second_eigenvalue ?tol ?max_iter ?seed g =
-  let lambda2, _ = second_eigenvector ?tol ?max_iter ?seed g in
+let lazy_second_eigenvalue ?tol ?max_iter ?seed ?pool g =
+  let lambda2, _ = second_eigenvector ?tol ?max_iter ?seed ?pool g in
   Float.max 0.0 (Float.min 1.0 ((1.0 +. lambda2) /. 2.0))
 
-let lazy_eigenvalue_gap ?tol ?max_iter ?seed g =
-  1.0 -. lazy_second_eigenvalue ?tol ?max_iter ?seed g
+let lazy_eigenvalue_gap ?tol ?max_iter ?seed ?pool g =
+  1.0 -. lazy_second_eigenvalue ?tol ?max_iter ?seed ?pool g
 
 (* --- Dense reference solver: cyclic Jacobi on the symmetric N --- *)
 

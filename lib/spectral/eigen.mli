@@ -13,7 +13,8 @@
     oracle for the iterative path). *)
 
 val second_eigenvalue :
-  ?tol:float -> ?max_iter:int -> ?seed:int -> Cobra_graph.Graph.t -> float
+  ?tol:float -> ?max_iter:int -> ?seed:int -> ?pool:Cobra_parallel.Pool.t ->
+  Cobra_graph.Graph.t -> float
 (** [second_eigenvalue g] estimates [lambda(G)].
 
     Power iteration is run on the two shifted operators [I + N] and
@@ -27,13 +28,20 @@ val second_eigenvalue :
     (default 1) fixes the random start vector.  The result is clamped to
     [[0, 1]].
 
+    [pool] shards every matrix–vector product over its domains (see
+    {!Matvec.apply_normalized}); the iteration — and hence the result —
+    is bit-identical for any pool size.
+
     @raise Invalid_argument on the empty graph. *)
 
-val eigenvalue_gap : ?tol:float -> ?max_iter:int -> ?seed:int -> Cobra_graph.Graph.t -> float
+val eigenvalue_gap :
+  ?tol:float -> ?max_iter:int -> ?seed:int -> ?pool:Cobra_parallel.Pool.t ->
+  Cobra_graph.Graph.t -> float
 (** [eigenvalue_gap g = 1 - second_eigenvalue g]. *)
 
 val second_eigenvector :
-  ?tol:float -> ?max_iter:int -> ?seed:int -> Cobra_graph.Graph.t -> float * float array
+  ?tol:float -> ?max_iter:int -> ?seed:int -> ?pool:Cobra_parallel.Pool.t ->
+  Cobra_graph.Graph.t -> float * float array
 (** [second_eigenvector g] returns [(lambda_2, v)] where [lambda_2] is
     the largest non-principal eigenvalue of [P] (signed, not absolute)
     and [v] the corresponding eigenvector of [P] (the normalised-operator
@@ -41,7 +49,8 @@ val second_eigenvector :
     conductance estimation. *)
 
 val lazy_second_eigenvalue :
-  ?tol:float -> ?max_iter:int -> ?seed:int -> Cobra_graph.Graph.t -> float
+  ?tol:float -> ?max_iter:int -> ?seed:int -> ?pool:Cobra_parallel.Pool.t ->
+  Cobra_graph.Graph.t -> float
 (** [lazy_second_eigenvalue g] is [lambda] of the {e lazy} walk
     [(I + P) / 2], i.e. [(1 + lambda_2(P)) / 2].  The lazy spectrum is
     non-negative, so this is well-defined (< 1) on every connected graph
@@ -50,7 +59,8 @@ val lazy_second_eigenvalue :
     hypercube (remark after Theorem 1.2). *)
 
 val lazy_eigenvalue_gap :
-  ?tol:float -> ?max_iter:int -> ?seed:int -> Cobra_graph.Graph.t -> float
+  ?tol:float -> ?max_iter:int -> ?seed:int -> ?pool:Cobra_parallel.Pool.t ->
+  Cobra_graph.Graph.t -> float
 (** [1 - lazy_second_eigenvalue g = (1 - lambda_2(P)) / 2]. *)
 
 val dense_spectrum : Cobra_graph.Graph.t -> float array

@@ -1,24 +1,37 @@
 module Graph = Cobra_graph.Graph
+module Pool = Cobra_parallel.Pool
 
 let check_lengths g x y =
   let n = Graph.n g in
   if Array.length x <> n || Array.length y <> n then
     invalid_arg "Matvec: vector length does not match vertex count"
 
-let apply_transition g x y =
-  check_lengths g x y;
-  for u = 0 to Graph.n g - 1 do
-    let d = Graph.degree g u in
-    if d = 0 then y.(u) <- 0.0
-    else begin
-      (* Row action of the Markov operator: (P x)(u) = avg of x over N(u). *)
-      let s = ref 0.0 in
-      Graph.iter_neighbors g u (fun v -> s := !s +. x.(v));
-      y.(u) <- !s /. float_of_int d
-    end
-  done
+(* Rows are independent: row [u] reads [x] and writes only [y.(u)], so a
+   pool may shard the row loop freely.  Each row's accumulation order is
+   the neighbour order either way, making the parallel product
+   bit-identical to the serial one (float addition is non-associative
+   only {e within} a row, and rows are never split). *)
+let rows ?pool n row =
+  match pool with
+  | Some pool -> Pool.parallel_for pool ~lo:0 ~hi:n row
+  | None ->
+      for u = 0 to n - 1 do
+        row u
+      done
 
-let apply_normalized g x y =
+let apply_transition ?pool g x y =
+  check_lengths g x y;
+  rows ?pool (Graph.n g) (fun u ->
+      let d = Graph.degree g u in
+      if d = 0 then y.(u) <- 0.0
+      else begin
+        (* Row action of the Markov operator: (P x)(u) = avg of x over N(u). *)
+        let s = ref 0.0 in
+        Graph.iter_neighbors g u (fun v -> s := !s +. x.(v));
+        y.(u) <- !s /. float_of_int d
+      end)
+
+let apply_normalized ?pool g x y =
   check_lengths g x y;
   let n = Graph.n g in
   let inv_sqrt_deg =
@@ -26,11 +39,10 @@ let apply_normalized g x y =
         let d = Graph.degree g u in
         if d = 0 then 0.0 else 1.0 /. sqrt (float_of_int d))
   in
-  for u = 0 to n - 1 do
-    let s = ref 0.0 in
-    Graph.iter_neighbors g u (fun v -> s := !s +. (x.(v) *. inv_sqrt_deg.(v)));
-    y.(u) <- !s *. inv_sqrt_deg.(u)
-  done
+  rows ?pool n (fun u ->
+      let s = ref 0.0 in
+      Graph.iter_neighbors g u (fun v -> s := !s +. (x.(v) *. inv_sqrt_deg.(v)));
+      y.(u) <- !s *. inv_sqrt_deg.(u))
 
 let stationary_direction g =
   let n = Graph.n g in

@@ -13,13 +13,20 @@
     iteration and Rayleigh quotients are only reliable on symmetric
     operators. *)
 
-val apply_transition : Cobra_graph.Graph.t -> float array -> float array -> unit
+val apply_transition :
+  ?pool:Cobra_parallel.Pool.t -> Cobra_graph.Graph.t -> float array -> float array -> unit
 (** [apply_transition g x y] writes [P x] into [y].
     Isolated vertices map to 0.
+
+    With [pool] the row loop shards over its domains.  Rows are never
+    split, so each output entry is accumulated in the same order as the
+    serial product and the result is bit-identical for any pool size.
     @raise Invalid_argument on length mismatch. *)
 
-val apply_normalized : Cobra_graph.Graph.t -> float array -> float array -> unit
-(** [apply_normalized g x y] writes [N x] into [y]. *)
+val apply_normalized :
+  ?pool:Cobra_parallel.Pool.t -> Cobra_graph.Graph.t -> float array -> float array -> unit
+(** [apply_normalized g x y] writes [N x] into [y].  [pool] as in
+    {!apply_transition}. *)
 
 val stationary_direction : Cobra_graph.Graph.t -> float array
 (** Unit vector proportional to [sqrt(degree)] — the principal

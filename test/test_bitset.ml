@@ -215,6 +215,56 @@ let iteration_kernels_test =
       && Bitset.fold (fun i acc -> i :: acc) bs [] = List.rev expected
       && Array.to_list (Bitset.to_array bs) = expected)
 
+let word_range_kernels_test =
+  QCheck2.Test.make ~name:"word-range kernels agree with whole-set scans" ~count:200
+    QCheck2.Gen.(pair (int_range 1 400) (list_size (int_bound 150) (int_bound 399)))
+    (fun (cap, xs) ->
+      let xs = List.map (fun i -> i mod cap) xs in
+      let bs = Bitset.of_list cap xs in
+      let nw = Bitset.num_words bs in
+      let expected = IntSet.elements (IntSet.of_list xs) in
+      (* Tiling [0, nw) at any split must reproduce iter exactly. *)
+      let collect lo hi =
+        let acc = ref [] in
+        Bitset.iter_range (fun i -> acc := i :: !acc) bs ~lo ~hi;
+        List.rev !acc
+      in
+      let mid = nw / 2 in
+      let ok_iter_range = collect 0 mid @ collect mid nw = expected in
+      (* iter_words_range over the full range = iter_words. *)
+      let words_of f =
+        let acc = ref [] in
+        f (fun base bits -> acc := (base, bits) :: !acc);
+        List.rev !acc
+      in
+      let ok_words =
+        words_of (fun f -> Bitset.iter_words f bs)
+        = words_of (fun f -> Bitset.iter_words_range f bs ~lo:0 ~hi:nw)
+      in
+      (* members_into fills a prefix with exactly to_array's contents. *)
+      let buf = Array.make (Bitset.cardinal bs + 3) (-1) in
+      let k = Bitset.members_into bs buf in
+      let ok_members =
+        k = Bitset.cardinal bs && Array.to_list (Array.sub buf 0 k) = expected
+      in
+      (* unsafe_set_bit leaves cardinal stale; refresh_cardinal repairs
+         it and the resulting set equals a checked build. *)
+      let raw = Bitset.create cap in
+      List.iter (Bitset.unsafe_set_bit raw) xs;
+      Bitset.refresh_cardinal raw;
+      let ok_raw = Bitset.equal raw bs in
+      (* union_words_range over split ranges = union_into of all sources. *)
+      let third = List.filteri (fun i _ -> i mod 3 = 0) xs in
+      let srcs = [| bs; Bitset.of_list cap third |] in
+      let merged = Bitset.create cap in
+      Bitset.union_words_range ~into:merged srcs ~lo:0 ~hi:mid;
+      Bitset.union_words_range ~into:merged srcs ~lo:mid ~hi:nw;
+      Bitset.refresh_cardinal merged;
+      let reference = Bitset.create cap in
+      Array.iter (fun s -> Bitset.union_into ~into:reference s) srcs;
+      let ok_union = Bitset.equal merged reference in
+      ok_iter_range && ok_words && ok_members && ok_raw && ok_union)
+
 let random_member_differential_test =
   QCheck2.Test.make ~name:"random_member matches rank-select reference draw-for-draw" ~count:200
     QCheck2.Gen.(triple (int_range 1 400) (list_size (int_bound 120) (int_bound 399)) (int_range 0 10000))
@@ -257,6 +307,7 @@ let () =
           QCheck_alcotest.to_alcotest model_test;
           QCheck_alcotest.to_alcotest binop_test;
           QCheck_alcotest.to_alcotest iteration_kernels_test;
+          QCheck_alcotest.to_alcotest word_range_kernels_test;
           QCheck_alcotest.to_alcotest random_member_differential_test;
         ] );
     ]

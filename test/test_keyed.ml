@@ -1,0 +1,361 @@
+(* Keyed (counter-based) randomness: unit tests for the Keyed stream
+   itself, and the tentpole property of the domain-sharded kernels —
+   bit-identical results for every pool size.
+
+   Pool widths tested are 1, 2 and 4 total workers (num_domains 0/1/3),
+   plus an optional extra width from the COBRA_TEST_DOMAINS environment
+   variable so CI can probe an arbitrary configuration.  The small
+   graphs here force the sharded path with ~dense_threshold:1; results
+   must equal the no-pool serial keyed run exactly. *)
+
+module Bitset = Cobra_bitset.Bitset
+module Graph = Cobra_graph.Graph
+module Gen = Cobra_graph.Gen
+module Keyed = Cobra_prng.Keyed
+module Rng = Cobra_prng.Rng
+module Pool = Cobra_parallel.Pool
+module Process = Cobra_core.Process
+module Cobra = Cobra_core.Cobra
+module Bips = Cobra_core.Bips
+module Sis = Cobra_core.Sis
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* Total worker counts exercised by every invariance test. *)
+let pool_widths =
+  let base = [ 1; 2; 4 ] in
+  match Sys.getenv_opt "COBRA_TEST_DOMAINS" with
+  | Some s ->
+      (match int_of_string_opt s with
+      | Some k when k >= 1 && not (List.mem k base) -> base @ [ k ]
+      | _ -> base)
+  | None -> base
+
+let with_width width f = Pool.with_pool ~num_domains:(width - 1) f
+
+(* --- Keyed stream units --- *)
+
+let draws k n = List.init n (fun _ -> Keyed.next64 k)
+
+let test_replay () =
+  let a = Keyed.create ~master:42 in
+  let b = Keyed.create ~master:42 in
+  Keyed.position a ~round:3 ~vertex:17;
+  Keyed.position b ~round:3 ~vertex:17;
+  Alcotest.(check (list int64)) "same position, same stream" (draws a 8) (draws b 8);
+  (* Repositioning replays from the start of the (round, vertex) stream
+     regardless of how far the previous position was consumed. *)
+  Keyed.position a ~round:3 ~vertex:17;
+  Keyed.position b ~round:3 ~vertex:17;
+  ignore (Keyed.next64 b);
+  Keyed.position b ~round:3 ~vertex:17;
+  Alcotest.(check (list int64)) "reposition replays" (draws a 4) (draws b 4)
+
+let test_distinct_positions () =
+  let k = Keyed.create ~master:42 in
+  let first ~stream ~round ~vertex =
+    Keyed.position ~stream k ~round ~vertex;
+    Keyed.next64 k
+  in
+  let base = first ~stream:0 ~round:1 ~vertex:1 in
+  check_bool "round separates" true (base <> first ~stream:0 ~round:2 ~vertex:1);
+  check_bool "vertex separates" true (base <> first ~stream:0 ~round:1 ~vertex:2);
+  check_bool "stream separates" true (base <> first ~stream:1 ~round:1 ~vertex:1);
+  let other = Keyed.create ~master:43 in
+  Keyed.position other ~round:1 ~vertex:1;
+  check_bool "master separates" true (base <> Keyed.next64 other)
+
+let test_copy_independent () =
+  let a = Keyed.create ~master:7 in
+  Keyed.position a ~round:5 ~vertex:9;
+  let b = Keyed.copy a in
+  let da = draws a 6 in
+  let db = draws b 6 in
+  Alcotest.(check (list int64)) "copy continues identically" da db
+
+let test_int_below_range () =
+  let k = Keyed.create ~master:1 in
+  List.iter
+    (fun bound ->
+      Keyed.position k ~round:1 ~vertex:bound;
+      for _ = 1 to 200 do
+        let v = Keyed.int_below k bound in
+        if v < 0 || v >= bound then Alcotest.failf "int_below %d returned %d" bound v
+      done)
+    [ 1; 2; 3; 7; 63; 64; 1000 ]
+
+let test_int_below_uniform_ish () =
+  (* Coarse uniformity: 6 buckets, 6000 draws, each bucket within 30%
+     of its expectation.  Deterministic given the fixed key. *)
+  let k = Keyed.create ~master:2 in
+  Keyed.position k ~round:1 ~vertex:0;
+  let counts = Array.make 6 0 in
+  for _ = 1 to 6000 do
+    let v = Keyed.int_below k 6 in
+    counts.(v) <- counts.(v) + 1
+  done;
+  Array.iteri
+    (fun i c ->
+      if c < 700 || c > 1300 then Alcotest.failf "bucket %d count %d far from 1000" i c)
+    counts
+
+let test_bernoulli_degenerate () =
+  (* p <= 0 and p >= 1 must consume no randomness, matching the
+     sequential Rng contract that keeps Fixed/Bernoulli streams
+     aligned. *)
+  let a = Keyed.create ~master:3 in
+  Keyed.position a ~round:2 ~vertex:4;
+  let b = Keyed.copy a in
+  check_bool "p=1 true" true (Keyed.bernoulli a 1.0);
+  check_bool "p=0 false" false (Keyed.bernoulli a 0.0);
+  check_bool "p=1.5 true" true (Keyed.bernoulli a 1.5);
+  Alcotest.(check int64) "no draws consumed" (Keyed.next64 b) (Keyed.next64 a);
+  (* Non-degenerate p consumes exactly one draw. *)
+  ignore (Keyed.bernoulli a 0.5);
+  ignore (Keyed.next64 b);
+  Alcotest.(check int64) "one draw consumed" (Keyed.next64 b) (Keyed.next64 a)
+
+let test_float01_range () =
+  let k = Keyed.create ~master:4 in
+  Keyed.position k ~round:1 ~vertex:0;
+  for _ = 1 to 1000 do
+    let x = Keyed.float01 k in
+    if not (x >= 0.0 && x < 1.0) then Alcotest.failf "float01 out of range: %f" x
+  done
+
+let test_derive_seed_stable () =
+  let s = Keyed.derive_seed ~master:11 ~stream:1 ~round:3 ~vertex:5 in
+  Alcotest.(check int64) "derive_seed is a pure function" s
+    (Keyed.derive_seed ~master:11 ~stream:1 ~round:3 ~vertex:5);
+  check_bool "stream separates seeds" true
+    (s <> Keyed.derive_seed ~master:11 ~stream:2 ~round:3 ~vertex:5)
+
+(* --- Pool-size invariance of the sharded kernels --- *)
+
+let graphs = [ ("hypercube d=6", Gen.hypercube 6); ("torus 8x8", Gen.torus ~dims:[ 8; 8 ]) ]
+
+(* Fingerprint of a detailed cover run: every field the runner reports. *)
+let run_fingerprint (r : Cobra.run option) =
+  match r with
+  | None -> "censored"
+  | Some r ->
+      Printf.sprintf "rounds=%d tx=%d visited=%s active=%s" r.rounds r.transmissions
+        (String.concat "," (Array.to_list (Array.map string_of_int r.visited_sizes)))
+        (String.concat "," (Array.to_list (Array.map string_of_int r.active_sizes)))
+
+let keyed_cover ?pool ~branching ~lazy_ g =
+  let rng = Rng.create 0 in
+  run_fingerprint
+    (Cobra.run_cover_detailed g rng ~branching ~lazy_ ?pool
+       ~rng_mode:(Process.Keyed { master = 2017 }) ~dense_threshold:1 ~start:0 ())
+
+let test_cobra_pool_invariance () =
+  List.iter
+    (fun (name, g) ->
+      List.iter
+        (fun (bname, branching, lazy_) ->
+          let serial = keyed_cover ~branching ~lazy_ g in
+          List.iter
+            (fun width ->
+              with_width width (fun pool ->
+                  Alcotest.(check string)
+                    (Printf.sprintf "%s %s keyed, %d worker(s)" name bname width)
+                    serial
+                    (keyed_cover ~pool ~branching ~lazy_ g)))
+            pool_widths)
+        [
+          ("b=2", Process.Fixed 2, false);
+          ("b=3 lazy", Process.Fixed 3, true);
+          ("rho=0.4", Process.Bernoulli 0.4, false);
+        ])
+    graphs
+
+let keyed_infected ?pool g =
+  let rng = Rng.create 0 in
+  Bips.infected_after g rng ?pool
+    ~rng_mode:(Process.Keyed { master = 99 })
+    ~dense_threshold:1 ~rounds:12 ~source:1 ()
+
+let test_bips_pool_invariance () =
+  List.iter
+    (fun (name, g) ->
+      let serial = keyed_infected g in
+      List.iter
+        (fun width ->
+          with_width width (fun pool ->
+              check_bool
+                (Printf.sprintf "%s bips keyed set, %d worker(s)" name width)
+                true
+                (Bitset.equal serial (keyed_infected ~pool g))))
+        pool_widths)
+    graphs
+
+let keyed_sis ?pool g =
+  let rng = Rng.create 0 in
+  let initial = Bitset.of_list (Graph.n g) [ 0; 3; 5 ] in
+  let outcome, sizes =
+    Sis.run_trajectory g rng ?pool
+      ~rng_mode:(Process.Keyed { master = 123 })
+      ~dense_threshold:1 ~max_rounds:200 ~initial ()
+  in
+  let tag =
+    match outcome with
+    | Sis.Extinct r -> Printf.sprintf "extinct@%d" r
+    | Sis.Saturated r -> Printf.sprintf "saturated@%d" r
+    | Sis.Censored -> "censored"
+  in
+  tag ^ ":" ^ String.concat "," (Array.to_list (Array.map string_of_int sizes))
+
+let test_sis_pool_invariance () =
+  List.iter
+    (fun (name, g) ->
+      let serial = keyed_sis g in
+      List.iter
+        (fun width ->
+          with_width width (fun pool ->
+              Alcotest.(check string)
+                (Printf.sprintf "%s sis keyed, %d worker(s)" name width)
+                serial (keyed_sis ~pool g)))
+        pool_widths)
+    graphs
+
+let test_dense_threshold_irrelevant () =
+  (* The threshold decides scheduling, never results: serial sparse
+     path vs forced sharded path must agree draw for draw. *)
+  let g = Gen.hypercube 6 in
+  let forced = keyed_cover ~branching:(Process.Fixed 2) ~lazy_:false g in
+  let rng = Rng.create 0 in
+  let lazy_default =
+    run_fingerprint
+      (Cobra.run_cover_detailed g rng ~branching:(Process.Fixed 2) ~lazy_:false
+         ~rng_mode:(Process.Keyed { master = 2017 }) ~start:0 ())
+  in
+  Alcotest.(check string) "threshold does not change results" forced lazy_default
+
+(* --- Sequential mode unaffected --- *)
+
+let test_sequential_ignores_pool () =
+  let g = Gen.hypercube 6 in
+  let run ?pool () =
+    let rng = Rng.create 7 in
+    run_fingerprint (Cobra.run_cover_detailed g rng ?pool ~start:0 ())
+  in
+  let baseline = run () in
+  with_width 3 (fun pool ->
+      Alcotest.(check string) "pool is ignored under Sequential" baseline (run ~pool ()))
+
+(* --- Keyed engine (message-passing layer) --- *)
+
+let engine_fingerprint ?pool g =
+  let module E = Cobra_net.Gossip.Cobra_engine in
+  let t = E.create ?pool ~rng_mode:(Process.Keyed { master = 5 }) g ~start:0 in
+  let rng = Rng.create 0 in
+  (* never read in keyed mode *)
+  match E.run_until_covered ~max_rounds:10_000 t rng with
+  | None -> "censored"
+  | Some rounds -> Printf.sprintf "rounds=%d messages=%d" rounds (E.messages_sent t)
+
+let test_engine_keyed_invariance () =
+  let g = Gen.torus ~dims:[ 8; 8 ] in
+  let serial = engine_fingerprint g in
+  List.iter
+    (fun width ->
+      with_width width (fun pool ->
+          Alcotest.(check string)
+            (Printf.sprintf "engine keyed, %d worker(s)" width)
+            serial (engine_fingerprint ~pool g)))
+    pool_widths
+
+(* --- Parallel spectral matvec --- *)
+
+let test_matvec_pool_bit_identical () =
+  let g = Gen.random_regular ~n:200 ~r:6 (Rng.create 3) in
+  let n = Graph.n g in
+  let rng = Rng.create 9 in
+  let x = Array.init n (fun _ -> Rng.float01 rng -. 0.5) in
+  let y_serial = Array.make n 0.0 and y_pool = Array.make n 0.0 in
+  with_width 4 (fun pool ->
+      Cobra_spectral.Matvec.apply_normalized g x y_serial;
+      Cobra_spectral.Matvec.apply_normalized ~pool g x y_pool;
+      for i = 0 to n - 1 do
+        if not (Int64.equal (Int64.bits_of_float y_serial.(i)) (Int64.bits_of_float y_pool.(i)))
+        then Alcotest.failf "normalized matvec row %d differs" i
+      done;
+      Cobra_spectral.Matvec.apply_transition g x y_serial;
+      Cobra_spectral.Matvec.apply_transition ~pool g x y_pool;
+      for i = 0 to n - 1 do
+        if not (Int64.equal (Int64.bits_of_float y_serial.(i)) (Int64.bits_of_float y_pool.(i)))
+        then Alcotest.failf "transition matvec row %d differs" i
+      done;
+      let l_serial = Cobra_spectral.Eigen.second_eigenvalue ~tol:1e-9 g in
+      let l_pool = Cobra_spectral.Eigen.second_eigenvalue ~tol:1e-9 ~pool g in
+      if not (Int64.equal (Int64.bits_of_float l_serial) (Int64.bits_of_float l_pool)) then
+        Alcotest.failf "second_eigenvalue differs: %.17g vs %.17g" l_serial l_pool)
+
+(* --- Sequential cobra_step ?scratch fast path --- *)
+
+let test_scratch_equivalence () =
+  let g = Gen.torus ~dims:[ 8; 8 ] in
+  let n = Graph.n g in
+  let rng_a = Rng.create 21 and rng_b = Rng.create 21 in
+  let scratch = Array.make Process.sparse_frontier_threshold 0 in
+  let cur_a = Bitset.of_list n [ 0; 5; 17 ] and cur_b = Bitset.of_list n [ 0; 5; 17 ] in
+  let next_a = Bitset.create n and next_b = Bitset.create n in
+  for _ = 1 to 30 do
+    let ta =
+      Process.cobra_step g rng_a ~branching:(Process.Fixed 2) ~lazy_:false ~current:cur_a
+        ~next:next_a
+    in
+    let tb =
+      Process.cobra_step ~scratch g rng_b ~branching:(Process.Fixed 2) ~lazy_:false
+        ~current:cur_b ~next:next_b
+    in
+    check_int "transmissions" ta tb;
+    check_bool "next sets equal" true (Bitset.equal next_a next_b);
+    Bitset.blit ~src:next_a ~dst:cur_a;
+    Bitset.blit ~src:next_b ~dst:cur_b
+  done
+
+(* --- Keyed estimators --- *)
+
+let test_estimate_keyed_invariance () =
+  let g = Gen.hypercube 6 in
+  let est ?pool () =
+    let r =
+      Cobra_core.Estimate.cover_time_keyed ?pool ~dense_threshold:1 ~master_seed:5 ~trials:4 g
+    in
+    (r.summary.mean, r.mean_transmissions)
+  in
+  let serial = est () in
+  with_width 2 (fun pool ->
+      check_bool "keyed estimate pool-invariant" true (serial = est ~pool ()))
+
+let () =
+  Alcotest.run "keyed"
+    [
+      ( "stream",
+        [
+          Alcotest.test_case "replay" `Quick test_replay;
+          Alcotest.test_case "distinct positions" `Quick test_distinct_positions;
+          Alcotest.test_case "copy" `Quick test_copy_independent;
+          Alcotest.test_case "int_below range" `Quick test_int_below_range;
+          Alcotest.test_case "int_below uniformity" `Quick test_int_below_uniform_ish;
+          Alcotest.test_case "bernoulli degenerate" `Quick test_bernoulli_degenerate;
+          Alcotest.test_case "float01 range" `Quick test_float01_range;
+          Alcotest.test_case "derive_seed" `Quick test_derive_seed_stable;
+        ] );
+      ( "pool invariance",
+        [
+          Alcotest.test_case "cobra cover" `Quick test_cobra_pool_invariance;
+          Alcotest.test_case "bips infected set" `Quick test_bips_pool_invariance;
+          Alcotest.test_case "sis trajectory" `Quick test_sis_pool_invariance;
+          Alcotest.test_case "dense threshold" `Quick test_dense_threshold_irrelevant;
+          Alcotest.test_case "sequential ignores pool" `Quick test_sequential_ignores_pool;
+          Alcotest.test_case "engine" `Quick test_engine_keyed_invariance;
+          Alcotest.test_case "matvec + eigen" `Quick test_matvec_pool_bit_identical;
+          Alcotest.test_case "estimate" `Quick test_estimate_keyed_invariance;
+        ] );
+      ( "sequential paths",
+        [ Alcotest.test_case "cobra_step scratch" `Quick test_scratch_equivalence ] );
+    ]
