@@ -164,20 +164,26 @@ let run_experiments ids seed domains full out obs_out journal_dir resume_dir dea
       prerr_endline msg;
       exit 1
   | Ok experiments, Ok journal ->
-      (* Ctrl-C cancels cooperatively: in-flight chunks finish, completed
-         trials are checkpointed and manifests written, then the harness
-         exits 130.  A second Ctrl-C aborts immediately. *)
+      (* Ctrl-C and SIGTERM cancel cooperatively: in-flight chunks
+         finish, completed trials are checkpointed and manifests
+         written, then the harness exits with the conventional code for
+         the signal (130 for SIGINT, 143 for SIGTERM).  A second signal
+         aborts immediately. *)
       let cancel = Pool.Cancel.create () in
-      Sys.set_signal Sys.sigint
-        (Sys.Signal_handle
-           (fun _ ->
-             if Pool.Cancel.cancelled cancel then exit 130
-             else begin
-               prerr_endline
-                 "\n[interrupt] cancelling after in-flight chunks; checkpointing completed \
-                  trials (Ctrl-C again to abort hard)";
-               Pool.Cancel.cancel cancel
-             end));
+      let signal_exit = ref 130 in
+      let on_signal signum =
+        let code = if signum = Sys.sigterm then 143 else 130 in
+        signal_exit := code;
+        if Pool.Cancel.cancelled cancel then exit code
+        else begin
+          prerr_endline
+            "\n[interrupt] cancelling after in-flight chunks; checkpointing completed \
+             trials (signal again to abort hard)";
+          Pool.Cancel.cancel cancel
+        end
+      in
+      Sys.set_signal Sys.sigint (Sys.Signal_handle on_signal);
+      Sys.set_signal Sys.sigterm (Sys.Signal_handle on_signal);
       let failed = ref [] in
       let interrupted = ref false in
       Fun.protect
@@ -239,7 +245,7 @@ let run_experiments ids seed domains full out obs_out journal_dir resume_dir dea
                           (resume_hint journal) (Printexc.get_backtrace ())
                   end)
                 experiments));
-      if !interrupted then exit 130;
+      if !interrupted then exit !signal_exit;
       match List.rev !failed with
       | [] -> ()
       | failures ->

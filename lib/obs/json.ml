@@ -147,6 +147,11 @@ let parse s =
           | c -> fail (Printf.sprintf "bad escape \\%c" c));
           advance ();
           loop ()
+      | c when Char.code c < 0x20 ->
+          (* RFC 8259: control characters must be escaped; a raw one in
+             the input means the producer was not a JSON serializer
+             (e.g. a torn write), so reject rather than guess. *)
+          fail (Printf.sprintf "unescaped control character U+%04X in string" (Char.code c))
       | c ->
           Buffer.add_char buf c;
           advance ();

@@ -30,7 +30,10 @@ val to_string_pretty : t -> string
 
 val of_string : string -> (t, string) result
 (** Strict parse of a complete document; the error carries a byte
-    offset. *)
+    offset.  Strings must escape control characters (U+0000–U+001F) as
+    RFC 8259 requires — a raw one in the input is a parse error, never
+    silently accepted (the serializer always escapes them, so
+    everything {!to_string} emits round-trips). *)
 
 val of_string_exn : string -> t
 (** @raise Failure on a parse error. *)

@@ -26,7 +26,12 @@ type t = {
   mailbox : job option Atomic.t array; (* one slot per worker domain *)
   stop : bool Atomic.t;
   mutable active : bool;
+  busy : int Atomic.t; (* workers currently inside run_job, caller included *)
+  in_flight : int Atomic.t; (* parallel_for invocations currently executing *)
+  completed : int Atomic.t; (* parallel_for invocations finished, ever *)
 }
+
+type stats = { workers : int; busy_workers : int; jobs_in_flight : int; jobs_completed : int }
 
 (* Each worker spins on its own mailbox slot.  Per-slot mailboxes avoid
    a contended lock on every chunk claim; idleness is handled with an
@@ -41,7 +46,8 @@ let spin_budget = 512
 let initial_idle_sleep = 1e-6
 let max_idle_sleep = 2e-4
 
-let run_job job =
+let run_job ~busy job =
+  Atomic.incr busy;
   let exception Stop in
   (try
      let continue_ = ref true in
@@ -77,9 +83,10 @@ let run_job job =
          it so the original raising frame survives the domain hop. *)
       let bt = Printexc.get_raw_backtrace () in
       ignore (Atomic.compare_and_set job.failure None (Some (e, bt))));
+  Atomic.decr busy;
   Atomic.decr job.pending
 
-let worker_loop mailbox stop =
+let worker_loop mailbox stop busy =
   let continue_ = ref true in
   let idle_spins = ref 0 in
   let idle_sleep = ref initial_idle_sleep in
@@ -90,7 +97,7 @@ let worker_loop mailbox stop =
         idle_sleep := initial_idle_sleep;
         (* CAS so that the submitting thread clearing a stale mailbox and
            this worker cannot both account for the same slot. *)
-        if Atomic.compare_and_set mailbox seen None then run_job job
+        if Atomic.compare_and_set mailbox seen None then run_job ~busy job
     | None ->
         if Atomic.get stop then continue_ := false
         else if !idle_spins < spin_budget then begin
@@ -112,13 +119,30 @@ let create ?num_domains () =
     | None -> max 0 (Domain.recommended_domain_count () - 1)
   in
   let stop = Atomic.make false in
+  let busy = Atomic.make 0 in
   let mailbox = Array.init num_domains (fun _ -> Atomic.make None) in
   let domains =
-    Array.init num_domains (fun i -> Domain.spawn (fun () -> worker_loop mailbox.(i) stop))
+    Array.init num_domains (fun i -> Domain.spawn (fun () -> worker_loop mailbox.(i) stop busy))
   in
-  { domains; mailbox; stop; active = true }
+  {
+    domains;
+    mailbox;
+    stop;
+    active = true;
+    busy;
+    in_flight = Atomic.make 0;
+    completed = Atomic.make 0;
+  }
 
 let size t = Array.length t.domains + 1
+
+let stats t =
+  {
+    workers = size t;
+    busy_workers = Atomic.get t.busy;
+    jobs_in_flight = Atomic.get t.in_flight;
+    jobs_completed = Atomic.get t.completed;
+  }
 
 let parallel_for t ~lo ~hi ?chunk ?cancel ?deadline_s body =
   if not t.active then invalid_arg "Pool.parallel_for: pool is shut down";
@@ -152,27 +176,33 @@ let parallel_for t ~lo ~hi ?chunk ?cancel ?deadline_s body =
         tripped = Atomic.make None;
       }
     in
-    Array.iter (fun slot -> Atomic.set slot (Some job)) t.mailbox;
-    (* The caller participates, then waits for stragglers. *)
-    run_job job;
-    (* Workers that never woke up in time still hold the job in their
-       mailbox; reclaim those slots (CAS against the exact value we
-       stored, so a concurrent worker claim wins exactly one of us) and
-       account for each reclaimed one. *)
-    Array.iter
-      (fun slot ->
-        match Atomic.get slot with
-        | Some j as seen when j == job ->
-            if Atomic.compare_and_set slot seen None then Atomic.decr job.pending
-        | _ -> ())
-      t.mailbox;
-    while Atomic.get job.pending > 0 do
-      Domain.cpu_relax ()
-    done;
-    (match Atomic.get job.failure with
-    | Some (e, bt) -> Printexc.raise_with_backtrace e bt
-    | None -> ());
-    match Atomic.get job.tripped with Some e -> raise e | None -> ()
+    Atomic.incr t.in_flight;
+    Fun.protect
+      ~finally:(fun () ->
+        Atomic.decr t.in_flight;
+        Atomic.incr t.completed)
+      (fun () ->
+        Array.iter (fun slot -> Atomic.set slot (Some job)) t.mailbox;
+        (* The caller participates, then waits for stragglers. *)
+        run_job ~busy:t.busy job;
+        (* Workers that never woke up in time still hold the job in their
+           mailbox; reclaim those slots (CAS against the exact value we
+           stored, so a concurrent worker claim wins exactly one of us) and
+           account for each reclaimed one. *)
+        Array.iter
+          (fun slot ->
+            match Atomic.get slot with
+            | Some j as seen when j == job ->
+                if Atomic.compare_and_set slot seen None then Atomic.decr job.pending
+            | _ -> ())
+          t.mailbox;
+        while Atomic.get job.pending > 0 do
+          Domain.cpu_relax ()
+        done;
+        (match Atomic.get job.failure with
+        | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+        | None -> ());
+        match Atomic.get job.tripped with Some e -> raise e | None -> ())
   end
 
 let parallel_init t n f =

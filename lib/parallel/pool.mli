@@ -43,6 +43,23 @@ val create : ?num_domains:int -> unit -> t
 val size : t -> int
 (** Number of workers that execute a loop, including the caller. *)
 
+type stats = {
+  workers : int;  (** = {!size}. *)
+  busy_workers : int;
+      (** Workers currently executing chunks of some loop, the
+          submitting caller included. *)
+  jobs_in_flight : int;
+      (** {!parallel_for} invocations currently executing (0 or 1 with
+          a single submitting thread). *)
+  jobs_completed : int;  (** {!parallel_for} invocations finished, ever. *)
+}
+
+val stats : t -> stats
+(** A consistent-enough snapshot for admission control and gauges: each
+    field is an atomic read, so transient skew between fields is
+    possible but each value was true at some instant.  Safe to call
+    from any domain, including from inside a running loop body. *)
+
 val parallel_for :
   t -> lo:int -> hi:int -> ?chunk:int -> ?cancel:Cancel.t -> ?deadline_s:float ->
   (int -> unit) -> unit

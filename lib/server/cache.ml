@@ -1,0 +1,86 @@
+(* Classic hashtable + intrusive doubly-linked recency list; the list
+   head is most recent, the tail is the eviction victim. *)
+
+type 'a node = {
+  key : string;
+  mutable value : 'a;
+  mutable prev : 'a node option;  (* towards the head / more recent *)
+  mutable next : 'a node option;  (* towards the tail / less recent *)
+}
+
+type 'a t = {
+  capacity : int;
+  table : (string, 'a node) Hashtbl.t;
+  mutable head : 'a node option;
+  mutable tail : 'a node option;
+  mutable hits : int;
+  mutable misses : int;
+  mutable evictions : int;
+}
+
+let create ~capacity =
+  if capacity < 1 then invalid_arg "Cache.create: capacity must be >= 1";
+  {
+    capacity;
+    table = Hashtbl.create (min capacity 1024);
+    head = None;
+    tail = None;
+    hits = 0;
+    misses = 0;
+    evictions = 0;
+  }
+
+let length t = Hashtbl.length t.table
+let capacity t = t.capacity
+let hits t = t.hits
+let misses t = t.misses
+let evictions t = t.evictions
+let mem t key = Hashtbl.mem t.table key
+
+let unlink t node =
+  (match node.prev with Some p -> p.next <- node.next | None -> t.head <- node.next);
+  (match node.next with Some nx -> nx.prev <- node.prev | None -> t.tail <- node.prev);
+  node.prev <- None;
+  node.next <- None
+
+let push_front t node =
+  node.next <- t.head;
+  node.prev <- None;
+  (match t.head with Some h -> h.prev <- Some node | None -> t.tail <- Some node);
+  t.head <- Some node
+
+let touch t node =
+  match t.head with
+  | Some h when h == node -> ()
+  | _ ->
+      unlink t node;
+      push_front t node
+
+let find t key =
+  match Hashtbl.find_opt t.table key with
+  | Some node ->
+      t.hits <- t.hits + 1;
+      touch t node;
+      Some node.value
+  | None ->
+      t.misses <- t.misses + 1;
+      None
+
+let evict_lru t =
+  match t.tail with
+  | None -> ()
+  | Some victim ->
+      unlink t victim;
+      Hashtbl.remove t.table victim.key;
+      t.evictions <- t.evictions + 1
+
+let add t key value =
+  match Hashtbl.find_opt t.table key with
+  | Some node ->
+      node.value <- value;
+      touch t node
+  | None ->
+      if length t >= t.capacity then evict_lru t;
+      let node = { key; value; prev = None; next = None } in
+      Hashtbl.replace t.table key node;
+      push_front t node

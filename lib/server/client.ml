@@ -1,0 +1,40 @@
+module Json = Cobra_obs.Json
+
+type t = { fd : Unix.file_descr; mutable next_id : int; mutable closed : bool }
+
+let connect ?(host = "127.0.0.1") ~port () =
+  let fd = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
+  (try Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_of_string host, port))
+   with e ->
+     (try Unix.close fd with Unix.Unix_error _ -> ());
+     raise e);
+  (try Unix.setsockopt fd Unix.TCP_NODELAY true with Unix.Unix_error _ -> ());
+  { fd; next_id = 0; closed = false }
+
+let send t req =
+  let id = string_of_int t.next_id in
+  t.next_id <- t.next_id + 1;
+  Wire.write_frame t.fd (Json.to_string (Proto.request_to_json ~id req));
+  id
+
+let recv t =
+  let payload = Wire.read_frame t.fd in
+  match Json.of_string payload with
+  | Error m -> failwith (Printf.sprintf "malformed response frame: %s" m)
+  | Ok j -> (
+      match Proto.response_of_json j with
+      | Error m -> failwith (Printf.sprintf "bad response: %s" m)
+      | Ok (id, resp) -> (id, resp))
+
+let request t req =
+  let id = send t req in
+  let rid, resp = recv t in
+  if rid <> id then
+    failwith (Printf.sprintf "response id mismatch: sent %S, got %S" id rid);
+  resp
+
+let close t =
+  if not t.closed then begin
+    t.closed <- true;
+    try Unix.close t.fd with Unix.Unix_error _ -> ()
+  end

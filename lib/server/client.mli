@@ -1,0 +1,28 @@
+(** A blocking client for the {!Server} wire protocol.
+
+    One connection, one request at a time: {!request} writes a frame and
+    blocks on the response.  The split {!send}/{!recv} pair supports
+    pipelining several requests on one connection (responses arrive in
+    completion order, matched by id) — the load-test driver and the
+    protocol tests use it.  Not thread-safe; give each domain its own
+    connection. *)
+
+type t
+
+val connect : ?host:string -> port:int -> unit -> t
+(** TCP connect (numeric [host], default ["127.0.0.1"]).
+    @raise Unix.Unix_error when the server is not there. *)
+
+val send : t -> Proto.request -> string
+(** Frame and write a request; returns the fresh request id. *)
+
+val recv : t -> string * Proto.response
+(** Block for the next response frame, decoded.
+    @raise Wire.Closed when the server hangs up.
+    @raise Failure on a malformed response. *)
+
+val request : t -> Proto.request -> Proto.response
+(** [send] then [recv], checking the ids match. *)
+
+val close : t -> unit
+(** Idempotent. *)

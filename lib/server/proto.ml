@@ -1,0 +1,302 @@
+module Json = Cobra_obs.Json
+
+let version = 1
+
+type graph_spec = { family : string; n : int; gseed : int }
+type kind = Cover_time | Infection_time
+
+type job = {
+  kind : kind;
+  graph : graph_spec;
+  branching : Cobra_core.Process.branching;
+  lazy_ : bool;
+  max_rounds : int option;
+  trials : int;
+  master_seed : int;
+}
+
+type request = Ping | Stats | Submit of { job : job; deadline_s : float option }
+
+type error_code = Bad_request | Overloaded | Deadline_exceeded | Cancelled | Internal
+
+type job_result = {
+  n : int;
+  count : int;
+  mean : float;
+  stddev : float;
+  min : float;
+  max : float;
+  median : float;
+  q90 : float;
+  censored : int;
+  mean_transmissions : float;
+}
+
+type response =
+  | Pong
+  | Stats_reply of Json.t
+  | Result of { cached : bool; server_ms : float; result : job_result }
+  | Error of { code : error_code; message : string }
+
+let kind_to_string = function Cover_time -> "cover_time" | Infection_time -> "infection_time"
+
+let kind_of_string = function
+  | "cover_time" -> Ok Cover_time
+  | "infection_time" -> Ok Infection_time
+  | s -> Error (Printf.sprintf "unknown job kind %S" s)
+
+let error_code_to_string = function
+  | Bad_request -> "bad_request"
+  | Overloaded -> "overloaded"
+  | Deadline_exceeded -> "deadline_exceeded"
+  | Cancelled -> "cancelled"
+  | Internal -> "internal"
+
+let error_code_of_string = function
+  | "bad_request" -> Ok Bad_request
+  | "overloaded" -> Ok Overloaded
+  | "deadline_exceeded" -> Ok Deadline_exceeded
+  | "cancelled" -> Ok Cancelled
+  | "internal" -> Ok Internal
+  | s -> Error (Printf.sprintf "unknown error code %S" s)
+
+let job_result_of_estimate ~n (r : Cobra_core.Estimate.result) =
+  {
+    n;
+    count = r.summary.count;
+    mean = r.summary.mean;
+    stddev = r.summary.stddev;
+    min = r.summary.min;
+    max = r.summary.max;
+    median = r.median;
+    q90 = r.q90;
+    censored = r.censored;
+    mean_transmissions = r.mean_transmissions;
+  }
+
+(* --- field access helpers --- *)
+
+let ( let* ) = Result.bind
+
+let field j name =
+  match Json.member j name with
+  | Some v -> Ok v
+  | None -> Error (Printf.sprintf "missing field %S" name)
+
+let str_field j name =
+  let* v = field j name in
+  match Json.to_string_opt v with
+  | Some s -> Ok s
+  | None -> Error (Printf.sprintf "field %S must be a string" name)
+
+let int_field j name =
+  let* v = field j name in
+  match Json.to_int_opt v with
+  | Some i -> Ok i
+  | None -> Error (Printf.sprintf "field %S must be an integer" name)
+
+let float_field j name =
+  let* v = field j name in
+  match Json.to_float_opt v with
+  | Some f -> Ok f
+  | None -> Error (Printf.sprintf "field %S must be a number" name)
+
+let bool_field j name =
+  let* v = field j name in
+  match Json.to_bool_opt v with
+  | Some b -> Ok b
+  | None -> Error (Printf.sprintf "field %S must be a boolean" name)
+
+let opt_field j name of_v =
+  match Json.member j name with
+  | None | Some Json.Null -> Ok None
+  | Some v -> (
+      match of_v v with
+      | Some x -> Ok (Some x)
+      | None -> Error (Printf.sprintf "field %S has the wrong type" name))
+
+(* --- jobs --- *)
+
+let branching_to_json (b : Cobra_core.Process.branching) =
+  match b with
+  | Fixed k -> Json.Obj [ ("fixed", Json.Int k) ]
+  | Bernoulli rho -> Json.Obj [ ("bernoulli", Json.Float rho) ]
+
+let branching_of_json j : (Cobra_core.Process.branching, string) result =
+  match (Json.member j "fixed", Json.member j "bernoulli") with
+  | Some v, None -> (
+      match Json.to_int_opt v with
+      | Some k -> Ok (Fixed k)
+      | None -> Error "\"fixed\" branching must be an integer")
+  | None, Some v -> (
+      match Json.to_float_opt v with
+      | Some rho -> Ok (Bernoulli rho)
+      | None -> Error "\"bernoulli\" branching must be a number")
+  | _ -> Error "branching must be {\"fixed\":b} or {\"bernoulli\":rho}"
+
+let graph_to_json (g : graph_spec) =
+  Json.Obj
+    [ ("family", Json.String g.family); ("n", Json.Int g.n); ("gseed", Json.Int g.gseed) ]
+
+let graph_of_json j =
+  let* family = str_field j "family" in
+  let* n = int_field j "n" in
+  let* gseed =
+    match Json.member j "gseed" with
+    | None -> Ok 0
+    | Some v -> (
+        match Json.to_int_opt v with
+        | Some i -> Ok i
+        | None -> Error "field \"gseed\" must be an integer")
+  in
+  Ok { family; n; gseed }
+
+let job_to_json (job : job) =
+  Json.Obj
+    ([
+       ("kind", Json.String (kind_to_string job.kind));
+       ("graph", graph_to_json job.graph);
+       ("branching", branching_to_json job.branching);
+       ("lazy", Json.Bool job.lazy_);
+     ]
+    @ (match job.max_rounds with None -> [] | Some r -> [ ("max_rounds", Json.Int r) ])
+    @ [ ("trials", Json.Int job.trials); ("master_seed", Json.Int job.master_seed) ])
+
+let job_of_json j =
+  let* kind_s = str_field j "kind" in
+  let* kind = kind_of_string kind_s in
+  let* graph_j = field j "graph" in
+  let* graph = graph_of_json graph_j in
+  let* branching_j = field j "branching" in
+  let* branching = branching_of_json branching_j in
+  let* lazy_ = bool_field j "lazy" in
+  let* max_rounds = opt_field j "max_rounds" Json.to_int_opt in
+  let* trials = int_field j "trials" in
+  let* master_seed = int_field j "master_seed" in
+  Ok { kind; graph; branching; lazy_; max_rounds; trials; master_seed }
+
+(* --- results --- *)
+
+let job_result_to_json (r : job_result) =
+  Json.Obj
+    [
+      ("n", Json.Int r.n);
+      ("count", Json.Int r.count);
+      ("mean", Json.Float r.mean);
+      ("stddev", Json.Float r.stddev);
+      ("min", Json.Float r.min);
+      ("max", Json.Float r.max);
+      ("median", Json.Float r.median);
+      ("q90", Json.Float r.q90);
+      ("censored", Json.Int r.censored);
+      ("mean_transmissions", Json.Float r.mean_transmissions);
+    ]
+
+let job_result_of_json j =
+  let* n = int_field j "n" in
+  let* count = int_field j "count" in
+  let* mean = float_field j "mean" in
+  let* stddev = float_field j "stddev" in
+  let* min = float_field j "min" in
+  let* max = float_field j "max" in
+  let* median = float_field j "median" in
+  let* q90 = float_field j "q90" in
+  let* censored = int_field j "censored" in
+  let* mean_transmissions = float_field j "mean_transmissions" in
+  Ok { n; count; mean; stddev; min; max; median; q90; censored; mean_transmissions }
+
+(* --- envelopes --- *)
+
+let envelope ~id ~op fields =
+  Json.Obj ([ ("v", Json.Int version); ("id", Json.String id); ("op", Json.String op) ] @ fields)
+
+let check_version j =
+  let* v = int_field j "v" in
+  if v <> version then Error (Printf.sprintf "unsupported protocol version %d (want %d)" v version)
+  else Ok ()
+
+let request_to_json ~id = function
+  | Ping -> envelope ~id ~op:"ping" []
+  | Stats -> envelope ~id ~op:"stats" []
+  | Submit { job; deadline_s } ->
+      envelope ~id ~op:"submit"
+        ((match deadline_s with None -> [] | Some d -> [ ("deadline_s", Json.Float d) ])
+        @ [ ("job", job_to_json job) ])
+
+let request_of_json j =
+  let* () = check_version j in
+  let* id = str_field j "id" in
+  let* op = str_field j "op" in
+  let* request =
+    match op with
+    | "ping" -> Ok Ping
+    | "stats" -> Ok Stats
+    | "submit" ->
+        let* job_j = field j "job" in
+        let* job = job_of_json job_j in
+        let* deadline_s = opt_field j "deadline_s" Json.to_float_opt in
+        Ok (Submit { job; deadline_s })
+    | op -> Error (Printf.sprintf "unknown operation %S" op)
+  in
+  Ok (id, request)
+
+let response_to_json ~id = function
+  | Pong -> envelope ~id ~op:"pong" []
+  | Stats_reply stats -> envelope ~id ~op:"stats_reply" [ ("stats", stats) ]
+  | Result { cached; server_ms; result } ->
+      envelope ~id ~op:"result"
+        [
+          ("cached", Json.Bool cached);
+          ("server_ms", Json.Float server_ms);
+          ("result", job_result_to_json result);
+        ]
+  | Error { code; message } ->
+      envelope ~id ~op:"error"
+        [ ("code", Json.String (error_code_to_string code)); ("message", Json.String message) ]
+
+let response_of_json j =
+  let* () = check_version j in
+  let* id = str_field j "id" in
+  let* op = str_field j "op" in
+  let* response =
+    match op with
+    | "pong" -> Ok Pong
+    | "stats_reply" ->
+        let* stats = field j "stats" in
+        Ok (Stats_reply stats)
+    | "result" ->
+        let* cached = bool_field j "cached" in
+        let* server_ms = float_field j "server_ms" in
+        let* result_j = field j "result" in
+        let* result = job_result_of_json result_j in
+        Ok (Result { cached; server_ms; result })
+    | "error" ->
+        let* code_s = str_field j "code" in
+        let* code = error_code_of_string code_s in
+        let* message = str_field j "message" in
+        Ok (Error { code; message })
+    | op -> Error (Printf.sprintf "unknown operation %S" op)
+  in
+  Ok (id, response)
+
+(* --- validation --- *)
+
+let max_n = 1 lsl 22
+let max_trials = 100_000
+
+let validate_job (job : job) : (unit, string) result =
+  let family = String.lowercase_ascii (String.trim job.graph.family) in
+  if not (List.mem family Cobra_graph.Gen.family_names) then
+    Error (Printf.sprintf "unknown graph family %S" job.graph.family)
+  else if job.graph.n < 1 || job.graph.n > max_n then
+    Error (Printf.sprintf "graph size %d out of range [1, %d]" job.graph.n max_n)
+  else if job.trials < 1 || job.trials > max_trials then
+    Error (Printf.sprintf "trials %d out of range [1, %d]" job.trials max_trials)
+  else if (match job.max_rounds with Some r -> r < 1 | None -> false) then
+    Error "max_rounds must be >= 1"
+  else
+    match job.branching with
+    | Fixed b when b < 1 -> Error "fixed branching must be >= 1"
+    | Bernoulli rho when not (rho >= 0.0 && rho <= 1.0) ->
+        Error "bernoulli branching must lie in [0, 1]"
+    | _ -> Ok ()

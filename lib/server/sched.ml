@@ -1,0 +1,68 @@
+(* Round-robin over per-client FIFOs.  The rotation queue may hold
+   stale client ids (a client whose FIFO drained or who disconnected);
+   entries therefore carry a generation stamped at FIFO creation, and
+   dequeue skips rotation entries whose generation no longer matches —
+   a dropped-and-returned client gets a fresh generation, so it can
+   never hold two live rotation slots. *)
+
+type 'a entry = { jobs : 'a Queue.t; gen : int }
+
+type 'a t = {
+  per_client : int;
+  global : int;
+  fifos : (int, 'a entry) Hashtbl.t;
+  rotation : (int * int) Queue.t;  (* (client, generation) *)
+  mutable next_gen : int;
+  mutable total : int;
+}
+
+let create ?(per_client = 64) ?(global = 1024) () =
+  if per_client < 1 || global < per_client then
+    invalid_arg "Sched.create: need 1 <= per_client <= global";
+  { per_client; global; fifos = Hashtbl.create 64; rotation = Queue.create (); next_gen = 0; total = 0 }
+
+let queued t = t.total
+
+let queued_for t ~client =
+  match Hashtbl.find_opt t.fifos client with
+  | Some e -> Queue.length e.jobs
+  | None -> 0
+
+let enqueue t ~client job =
+  let entry () =
+    match Hashtbl.find_opt t.fifos client with
+    | Some e -> e
+    | None ->
+        let e = { jobs = Queue.create (); gen = t.next_gen } in
+        t.next_gen <- t.next_gen + 1;
+        Hashtbl.replace t.fifos client e;
+        Queue.push (client, e.gen) t.rotation;
+        e
+  in
+  if t.total >= t.global || queued_for t ~client >= t.per_client then `Overloaded
+  else begin
+    Queue.push job (entry ()).jobs;
+    t.total <- t.total + 1;
+    `Accepted
+  end
+
+let rec dequeue t =
+  match Queue.take_opt t.rotation with
+  | None -> None
+  | Some (client, gen) -> (
+      match Hashtbl.find_opt t.fifos client with
+      | Some e when e.gen = gen ->
+          let job = Queue.take e.jobs in
+          t.total <- t.total - 1;
+          if Queue.is_empty e.jobs then Hashtbl.remove t.fifos client
+          else Queue.push (client, e.gen) t.rotation;
+          Some (client, job)
+      | _ -> dequeue t (* stale rotation slot *))
+
+let drop_client t client =
+  match Hashtbl.find_opt t.fifos client with
+  | None -> []
+  | Some e ->
+      Hashtbl.remove t.fifos client;
+      t.total <- t.total - Queue.length e.jobs;
+      List.of_seq (Queue.to_seq e.jobs)

@@ -1,0 +1,118 @@
+let default_max_frame = 16 * 1024 * 1024
+
+exception Frame_too_large of int
+exception Closed
+
+(* --- blocking helpers (client side) --- *)
+
+let rec write_all fd buf pos len =
+  if len > 0 then begin
+    let n = Unix.write fd buf pos len in
+    write_all fd buf (pos + n) (len - n)
+  end
+
+let write_frame fd payload =
+  let len = String.length payload in
+  if len > default_max_frame then
+    invalid_arg (Printf.sprintf "Wire.write_frame: %d-byte payload exceeds the frame limit" len);
+  let buf = Bytes.create (4 + len) in
+  Bytes.set_int32_be buf 0 (Int32.of_int len);
+  Bytes.blit_string payload 0 buf 4 len;
+  write_all fd buf 0 (4 + len)
+
+(* [eof_ok] distinguishes a clean close at a frame boundary (the peer
+   finished talking) from a torn frame (the peer died mid-message). *)
+let read_exactly fd buf pos len ~eof_ok =
+  let got = ref 0 in
+  (try
+     while !got < len do
+       let n = Unix.read fd buf (pos + !got) (len - !got) in
+       if n = 0 then
+         if !got = 0 && eof_ok then raise Closed else failwith "Wire.read_frame: EOF mid-frame";
+       got := !got + n
+     done
+   with Unix.Unix_error (Unix.EINTR, _, _) -> failwith "Wire.read_frame: interrupted");
+  ()
+
+let read_frame ?(max_frame = default_max_frame) fd =
+  let prefix = Bytes.create 4 in
+  read_exactly fd prefix 0 4 ~eof_ok:true;
+  let len = Int32.to_int (Bytes.get_int32_be prefix 0) in
+  if len < 0 || len > max_frame then raise (Frame_too_large len);
+  let payload = Bytes.create len in
+  if len > 0 then read_exactly fd payload 0 len ~eof_ok:false;
+  Bytes.unsafe_to_string payload
+
+(* --- incremental decoder (server side) --- *)
+
+module Decoder = struct
+  (* A single growable buffer with a consumed-prefix offset: frames are
+     carved off the front, and the live region is compacted when the
+     dead prefix dominates, so steady-state feeding never reallocates. *)
+  type t = {
+    max_frame : int;
+    mutable buf : Bytes.t;
+    mutable start : int;  (* first live byte *)
+    mutable stop : int;  (* one past last live byte *)
+  }
+
+  let create ?(max_frame = default_max_frame) () =
+    { max_frame; buf = Bytes.create 4096; start = 0; stop = 0 }
+
+  let live d = d.stop - d.start
+
+  let peek_len d =
+    if live d < 4 then None else Some (Int32.to_int (Bytes.get_int32_be d.buf d.start))
+
+  let check_limit d =
+    match peek_len d with
+    | Some len when len < 0 || len > d.max_frame -> raise (Frame_too_large len)
+    | _ -> ()
+
+  let ensure_room d extra =
+    let need = live d + extra in
+    if d.start > 0 && (need <= Bytes.length d.buf || d.start > Bytes.length d.buf / 2) then begin
+      Bytes.blit d.buf d.start d.buf 0 (live d);
+      d.stop <- live d;
+      d.start <- 0
+    end;
+    if d.stop + extra > Bytes.length d.buf then begin
+      let cap = ref (Bytes.length d.buf * 2) in
+      while d.stop + extra > !cap do
+        cap := !cap * 2
+      done;
+      let bigger = Bytes.create !cap in
+      Bytes.blit d.buf d.start bigger 0 (live d);
+      d.stop <- live d;
+      d.start <- 0;
+      d.buf <- bigger
+    end
+
+  let feed d buf len =
+    if len < 0 || len > Bytes.length buf then invalid_arg "Wire.Decoder.feed";
+    ensure_room d len;
+    Bytes.blit buf 0 d.buf d.stop len;
+    d.stop <- d.stop + len;
+    check_limit d
+
+  let next d =
+    match peek_len d with
+    | None -> None
+    | Some len ->
+        if len < 0 || len > d.max_frame then raise (Frame_too_large len);
+        if live d < 4 + len then None
+        else begin
+          let frame = Bytes.sub_string d.buf (d.start + 4) len in
+          d.start <- d.start + 4 + len;
+          if d.start = d.stop then begin
+            d.start <- 0;
+            d.stop <- 0
+          end;
+          (* The next frame's prefix may already be oversized; surface
+             that now rather than on the next feed. *)
+          check_limit d;
+          Some frame
+        end
+
+  let pending_bytes d = live d
+end

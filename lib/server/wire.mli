@@ -1,0 +1,57 @@
+(** Length-prefixed message framing for the cobra-serve socket protocol.
+
+    A frame is a 4-byte big-endian payload length followed by that many
+    bytes of payload (UTF-8 JSON at the layer above; this module never
+    inspects the bytes).  The length counts the payload only, so the
+    empty frame is the 4 zero bytes.  Frames larger than [max_frame]
+    are rejected on both sides: a reader that trusted the prefix would
+    otherwise allocate whatever a malformed or hostile peer claims.
+
+    Two reading disciplines are provided: blocking helpers over a
+    [Unix.file_descr] for clients (one in-flight request at a time),
+    and an incremental {!Decoder} for the server's readiness loop,
+    which feeds whatever [read] returned and pulls out any number of
+    completed frames. *)
+
+val default_max_frame : int
+(** 16 MiB — generous for any request or result this protocol carries. *)
+
+exception Frame_too_large of int
+(** Raised (or fed back by {!Decoder.feed}) when a length prefix
+    exceeds the configured maximum.  The connection is unusable
+    afterwards: framing has lost sync. *)
+
+exception Closed
+(** Raised by the blocking reader on EOF at a frame boundary
+    mid-frame EOF raises [Failure]. *)
+
+(** {2 Blocking client side} *)
+
+val write_frame : Unix.file_descr -> string -> unit
+(** [write_frame fd payload] writes the 4-byte prefix and the payload,
+    retrying short writes.  @raise Invalid_argument if the payload
+    exceeds {!default_max_frame}. *)
+
+val read_frame : ?max_frame:int -> Unix.file_descr -> string
+(** Blocking read of one complete frame.
+    @raise Closed on EOF before the first prefix byte.
+    @raise Frame_too_large on an oversized prefix. *)
+
+(** {2 Incremental server side} *)
+
+module Decoder : sig
+  type t
+
+  val create : ?max_frame:int -> unit -> t
+
+  val feed : t -> bytes -> int -> unit
+  (** [feed d buf len] appends [buf.[0..len-1]] to the decode buffer.
+      @raise Frame_too_large as soon as a prefix exceeds the limit,
+      even before the payload arrives. *)
+
+  val next : t -> string option
+  (** The earliest complete frame not yet returned, consuming it. *)
+
+  val pending_bytes : t -> int
+  (** Bytes buffered but not yet returned as frames (for gauges). *)
+end

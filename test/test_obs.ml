@@ -53,6 +53,47 @@ let test_json_nonfinite () =
   check_string "nan serializes as null" "null" (Json.to_string (Json.Float nan));
   check_string "inf serializes as null" "null" (Json.to_string (Json.Float infinity))
 
+let test_json_control_chars () =
+  (* Every C0 control character must be escaped on output (RFC 8259)
+     and round-trip exactly. *)
+  for code = 0 to 0x1F do
+    let s = Printf.sprintf "a%cb" (Char.chr code) in
+    let rendered = Json.to_string (Json.String s) in
+    String.iter
+      (fun c ->
+        if Char.code c < 0x20 then
+          Alcotest.failf "U+%04X leaked unescaped into %S" code rendered)
+      rendered;
+    match Json.of_string rendered with
+    | Ok (Json.String s') when s' = s -> ()
+    | Ok _ -> Alcotest.failf "U+%04X did not round-trip" code
+    | Error m -> Alcotest.failf "U+%04X failed to parse back: %s" code m
+  done;
+  (* ... and a raw (unescaped) control character in the input is a
+     parse error, not silently accepted. *)
+  for code = 0 to 0x1F do
+    let raw = Printf.sprintf "\"a%cb\"" (Char.chr code) in
+    check_bool
+      (Printf.sprintf "raw U+%04X rejected" code)
+      true
+      (Result.is_error (Json.of_string raw))
+  done;
+  (* Escaped forms of the same characters parse fine. *)
+  check_bool "escaped newline accepted" true
+    (Json.of_string "\"a\\nb\"" = Ok (Json.String "a\nb"));
+  check_bool "\\u0000 accepted" true
+    (Json.of_string "\"a\\u0000b\"" = Ok (Json.String "a\000b"))
+
+let json_string_roundtrip_test =
+  (* Arbitrary bytes — control characters, quotes, backslashes — must
+     survive serialize-then-parse byte-for-byte. *)
+  QCheck2.Test.make ~name:"json string round-trip over arbitrary bytes" ~count:500
+    QCheck2.Gen.(string_size ~gen:(map Char.chr (int_range 0 127)) (int_range 0 64))
+    (fun s ->
+      match Json.of_string (Json.to_string (Json.String s)) with
+      | Ok (Json.String s') -> s' = s
+      | _ -> false)
+
 (* ---- Metrics ---- *)
 
 let test_counters_and_gauges () =
@@ -327,6 +368,8 @@ let () =
           Alcotest.test_case "int/float distinction" `Quick test_json_int_float_distinction;
           Alcotest.test_case "errors" `Quick test_json_errors;
           Alcotest.test_case "non-finite floats" `Quick test_json_nonfinite;
+          Alcotest.test_case "control characters" `Quick test_json_control_chars;
+          QCheck_alcotest.to_alcotest json_string_roundtrip_test;
         ] );
       ( "metrics",
         [

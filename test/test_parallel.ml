@@ -250,6 +250,35 @@ let test_summarize () =
   check_int "count" 3 s.count;
   Alcotest.(check (float 1e-9)) "mean" 2.0 s.mean
 
+let test_pool_stats () =
+  Pool.with_pool ~num_domains:2 (fun pool ->
+      let s0 = Pool.stats pool in
+      check_int "workers matches size" (Pool.size pool) s0.workers;
+      check_int "idle pool has no busy workers" 0 s0.busy_workers;
+      check_int "idle pool has no jobs in flight" 0 s0.jobs_in_flight;
+      let completed0 = s0.jobs_completed in
+      (* Observe the gauges from inside a running loop body: the
+         submitting caller is itself a busy worker, so both gauges must
+         read >= 1 at that instant. *)
+      let saw_in_flight = ref 0 and saw_busy = ref 0 in
+      Pool.parallel_for pool ~lo:0 ~hi:64 ~chunk:1 (fun _ ->
+          let s = Pool.stats pool in
+          if s.jobs_in_flight > !saw_in_flight then saw_in_flight := s.jobs_in_flight;
+          if s.busy_workers > !saw_busy then saw_busy := s.busy_workers);
+      check_int "exactly one job in flight during the loop" 1 !saw_in_flight;
+      check_bool "at least one busy worker during the loop" true (!saw_busy >= 1);
+      check_bool "busy never exceeds workers" true (!saw_busy <= s0.workers);
+      let s1 = Pool.stats pool in
+      check_int "completed incremented once" (completed0 + 1) s1.jobs_completed;
+      check_int "quiescent: no busy workers" 0 s1.busy_workers;
+      check_int "quiescent: no jobs in flight" 0 s1.jobs_in_flight;
+      (* A failing loop still restores the gauges. *)
+      (try Pool.parallel_for pool ~lo:0 ~hi:8 (fun _ -> failwith "boom")
+       with Failure _ -> ());
+      let s2 = Pool.stats pool in
+      check_int "failure: gauges restored" 0 s2.jobs_in_flight;
+      check_int "failure: still counted as completed" (completed0 + 2) s2.jobs_completed)
+
 let parallel_sum_matches_test =
   QCheck2.Test.make ~name:"parallel_init = Array.init for arbitrary sizes" ~count:30
     QCheck2.Gen.(pair (int_range 0 5000) (int_range 0 4))
@@ -278,6 +307,7 @@ let () =
           Alcotest.test_case "deadline stops iteration" `Quick test_deadline_stops_iteration;
           Alcotest.test_case "deadline validation" `Quick test_deadline_validation;
           Alcotest.test_case "failure beats cancellation" `Quick test_failure_beats_cancellation;
+          Alcotest.test_case "stats introspection" `Quick test_pool_stats;
         ] );
       ( "montecarlo",
         [
