@@ -1,0 +1,87 @@
+(* CI bench gate for the keyed-kernel scaling regression.
+
+   `dune exec bench/gate.exe -- [BENCH_cobra.json] [tolerance]` reads
+   the structured "scaling" rows written by bench/main.exe and fails
+   (exit 1) if, for any (family, n) pair, the keyed kernel at domains=2
+   is slower than the serial sequential-stream row by more than the
+   tolerance factor (default 1.10).  This is the regression ISSUE 7
+   fixed — keyed sharding used to cost 2.5–3.5× serial — pinned so it
+   can never land silently again.
+
+   The gate refuses to pass vacuously: a bench file with no scaling
+   rows, or rows missing the serial/domains=2 pair, is itself a failure
+   (schema drift would otherwise disable the gate without anyone
+   noticing). *)
+
+module Json = Cobra_obs.Json
+
+type row = { kernel : string; family : string; n : int; domains : int; ns : float }
+
+let row_of_json v =
+  let str k = Option.bind (Json.member v k) Json.to_string_opt in
+  let int k = Option.bind (Json.member v k) Json.to_int_opt in
+  let flt k = Option.bind (Json.member v k) Json.to_float_opt in
+  match (str "kernel", str "family", int "n", int "domains", flt "ns_per_round") with
+  | Some kernel, Some family, Some n, Some domains, Some ns ->
+      Some { kernel; family; n; domains; ns }
+  | _ -> None
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let () =
+  let path = if Array.length Sys.argv > 1 then Sys.argv.(1) else "BENCH_cobra.json" in
+  let tolerance = if Array.length Sys.argv > 2 then float_of_string Sys.argv.(2) else 1.10 in
+  let doc =
+    match Json.of_string (read_file path) with
+    | Ok v -> v
+    | Error e ->
+        Printf.eprintf "bench gate: %s: %s\n" path e;
+        exit 1
+  in
+  let rows =
+    match Json.member doc "scaling" with
+    | Some (Json.List items) -> List.filter_map row_of_json items
+    | _ -> []
+  in
+  if rows = [] then begin
+    Printf.eprintf "bench gate: %s has no structured scaling rows — schema drift?\n" path;
+    exit 1
+  end;
+  let groups =
+    List.sort_uniq compare (List.map (fun r -> (r.family, r.n)) rows)
+  in
+  let find kernel domains family n =
+    List.find_opt
+      (fun r -> r.kernel = kernel && r.domains = domains && r.family = family && r.n = n)
+      rows
+  in
+  let failures = ref 0 in
+  let checked = ref 0 in
+  List.iter
+    (fun (family, n) ->
+      match (find "cobra_step" 1 family n, find "cobra_step_keyed" 2 family n) with
+      | Some serial, Some keyed2 ->
+          incr checked;
+          let ratio = keyed2.ns /. serial.ns in
+          let ok = ratio <= tolerance in
+          Printf.printf "%s %s n=%d: keyed domains=2 %.2f ms vs serial %.2f ms (%.2fx, limit %.2fx)\n"
+            (if ok then "PASS" else "FAIL")
+            family n (keyed2.ns /. 1e6) (serial.ns /. 1e6) ratio tolerance;
+          if not ok then incr failures
+      | _ ->
+          Printf.printf "FAIL %s n=%d: missing serial or keyed domains=2 scaling row\n" family n;
+          incr failures)
+    groups;
+  if !checked = 0 then begin
+    Printf.eprintf "bench gate: no (serial, keyed domains=2) pairs found in %s\n" path;
+    exit 1
+  end;
+  if !failures > 0 then begin
+    Printf.eprintf "bench gate: %d of %d scaling checks failed\n" !failures !checked;
+    exit 1
+  end;
+  Printf.printf "bench gate: %d scaling checks passed\n" !checked

@@ -1,0 +1,101 @@
+(* Phase-attribution profiler for the keyed COBRA step.
+
+   `dune exec bench/profile.exe -- [logn] [domains]` times the pieces a
+   dense keyed round is made of — pool barrier round-trips with empty
+   bodies, the keyed scan itself, the scratch clear + OR-merge + cardinal
+   repair — so a scaling regression can be blamed on a specific phase
+   rather than eyeballed from end-to-end rows.  This is the tool behind
+   the DESIGN.md §7 post-mortem numbers. *)
+
+module Gen = Cobra_graph.Gen
+module Bitset = Cobra_bitset.Bitset
+module Rng = Cobra_prng.Rng
+module Process = Cobra_core.Process
+module Pool = Cobra_parallel.Pool
+module Timer = Cobra_obs.Timer
+
+let time_ms ~reps f =
+  let t = Timer.start () in
+  for _ = 1 to reps do
+    f ()
+  done;
+  Timer.elapsed_s t *. 1e3 /. float_of_int reps
+
+let () =
+  let logn = if Array.length Sys.argv > 1 then int_of_string Sys.argv.(1) else 16 in
+  let domains = if Array.length Sys.argv > 2 then int_of_string Sys.argv.(2) else 2 in
+  let n = 1 lsl logn in
+  let g = Gen.hypercube logn in
+  let current = Bitset.of_list n (List.init (n / 2) (fun i -> 2 * i)) in
+  let next = Bitset.create n in
+  let reps = 16 in
+  Printf.printf "phase attribution: hypercube d=%d, |C|=%d, %d domain(s), %d reps\n" logn
+    (Bitset.cardinal current) domains reps;
+  (* Serial reference: the sequential-stream kernel. *)
+  let seq_rng = Rng.create 11 in
+  let scratch = Array.make Process.sparse_frontier_threshold 0 in
+  let serial =
+    time_ms ~reps (fun () ->
+        ignore
+          (Process.cobra_step ~scratch g seq_rng ~branching:(Process.Fixed 2) ~lazy_:false
+             ~current ~next
+            : int))
+  in
+  Printf.printf "  %-44s %8.3f ms\n" "cobra_step (sequential stream)" serial;
+  (* Serial keyed kernel, no pool. *)
+  let ctx0 = Process.make_keyed_ctx g ~master:2017 in
+  let keyed1 =
+    time_ms ~reps (fun () ->
+        ignore
+          (Process.cobra_step_keyed g ctx0 ~round:1 ~branching:(Process.Fixed 2) ~lazy_:false
+             ~current ~next
+            : int))
+  in
+  Printf.printf "  %-44s %8.3f ms\n" "cobra_step_keyed (no pool)" keyed1;
+  if domains > 1 then
+    Pool.with_pool ~num_domains:(domains - 1) (fun pool ->
+        (* Pool barrier round-trip with an empty body: pure scheduling
+           overhead, what every parallel phase pays before any work. *)
+        let nothing (_ : int) = () in
+        let barrier =
+          time_ms ~reps:200 (fun () -> Pool.parallel_for pool ~lo:0 ~hi:domains ~chunk:1 nothing)
+        in
+        Printf.printf "  %-44s %8.3f ms\n" "parallel_for barrier (empty body)" barrier;
+        (* Forced sharded round: a pinned threshold disables the
+           auto-tuner, so every rep pays the full fan-out/merge path —
+           the raw cost of sharding on this machine. *)
+        let ctx_forced = Process.make_keyed_ctx ~pool ~dense_threshold:1 g ~master:2017 in
+        let keyedf =
+          time_ms ~reps (fun () ->
+              ignore
+                (Process.cobra_step_keyed g ctx_forced ~round:1 ~branching:(Process.Fixed 2)
+                   ~lazy_:false ~current ~next
+                  : int))
+        in
+        Printf.printf "  %-44s %8.3f ms\n"
+          (Printf.sprintf "cobra_step_keyed (%d domains, forced shard)" domains)
+          keyedf;
+        (* Auto-tuned round: the default ctx probes both paths once and
+           then routes to the measured winner. *)
+        let ctx = Process.make_keyed_ctx ~pool g ~master:2017 in
+        let keyedp =
+          time_ms ~reps (fun () ->
+              ignore
+                (Process.cobra_step_keyed g ctx ~round:1 ~branching:(Process.Fixed 2)
+                   ~lazy_:false ~current ~next
+                  : int))
+        in
+        Printf.printf "  %-44s %8.3f ms\n"
+          (Printf.sprintf "cobra_step_keyed (%d domains, auto-tuned)" domains)
+          keyedp;
+        (* Merge-side costs measured standalone. *)
+        let srcs = Array.init domains (fun i -> Bitset.of_list n [ i ]) in
+        let merge =
+          time_ms ~reps:50 (fun () ->
+              ignore
+                (Bitset.union_words_range ~into:next srcs ~lo:0 ~hi:(Bitset.num_words next)
+                  : int))
+        in
+        Printf.printf "  %-44s %8.3f ms\n" "OR-merge sweep (serial, all words)" merge;
+        let clear = time_ms ~reps:50 (fun () -> Array.iter Bitset.clear srcs) in
+        Printf.printf "  %-44s %8.3f ms\n" "scratch full clear (all shards)" clear)

@@ -49,13 +49,26 @@ let domains_arg =
 
 let keyed_arg =
   let doc =
-    "Use counter-based keyed randomness: trials run serially and the worker domains \
-     parallelise the rounds inside each trial. Results are bit-identical for any --domains \
-     value."
+    "Use counter-based keyed randomness (the default since the keyed kernels became the \
+     faster path): trials run serially and the worker domains parallelise the rounds inside \
+     each trial. Results are bit-identical for any --domains value. This flag is now \
+     redundant and kept for compatibility."
   in
   Arg.(value & flag & info [ "keyed" ] ~doc)
 
-let run family file n trials seed source rho lazy_ trajectory phases domains keyed =
+let sequential_arg =
+  let doc =
+    "Use the historical sequential-stream randomness instead of the default keyed model: \
+     one mutable stream per trial, trials parallelised across domains. Matches the \
+     pre-flip per-seed results."
+  in
+  Arg.(value & flag & info [ "sequential" ] ~doc)
+
+let run family file n trials seed source rho lazy_ trajectory phases domains keyed sequential =
+  if keyed && sequential then (
+    prerr_endline "bips-sim: --keyed and --sequential are mutually exclusive";
+    exit 124);
+  let keyed = not sequential in
   let g =
     match file with
     | Some path -> Cobra_graph.Graph_io.read_file path
@@ -118,7 +131,8 @@ let cmd =
   let term =
     Term.(
       const run $ family_arg $ graph_file_arg $ n_arg $ trials_arg $ seed_arg $ source_arg
-      $ rho_arg $ lazy_arg $ trajectory_arg $ phases_arg $ domains_arg $ keyed_arg)
+      $ rho_arg $ lazy_arg $ trajectory_arg $ phases_arg $ domains_arg $ keyed_arg
+      $ sequential_arg)
   in
   Cmd.v (Cmd.info "bips-sim" ~version:"1.0.0" ~doc) term
 

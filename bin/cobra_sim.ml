@@ -62,12 +62,21 @@ let domains_arg =
 
 let keyed_arg =
   let doc =
-    "Use counter-based keyed randomness: trials run one after another and the worker domains \
-     parallelise the rounds inside each trial instead of the trials themselves — the right \
-     shape for few trials on big graphs. Results are bit-identical for any --domains value \
-     (but differ from the default sequential-stream results under the same seed)."
+    "Use counter-based keyed randomness (the default since the keyed kernels became the \
+     faster path): trials run one after another and the worker domains parallelise the \
+     rounds inside each trial instead of the trials themselves. Results are bit-identical \
+     for any --domains value. This flag is now redundant and kept for compatibility."
   in
   Arg.(value & flag & info [ "keyed" ] ~doc)
+
+let sequential_arg =
+  let doc =
+    "Use the historical sequential-stream randomness instead of the default keyed model: \
+     one mutable stream per trial, trials parallelised across domains. Matches the \
+     pre-flip per-seed results; keyed and sequential runs are different (equally valid) \
+     samples of the same process law."
+  in
+  Arg.(value & flag & info [ "sequential" ] ~doc)
 
 let histogram_arg =
   let doc = "Print an ASCII histogram of the per-trial cover times." in
@@ -78,7 +87,12 @@ let load_graph family file n seed =
   | Some path -> Cobra_graph.Graph_io.read_file path
   | None -> Gen.by_name family ~n (Cobra_prng.Rng.create seed)
 
-let run family file n trials seed b rho lazy_ start max_rounds domains keyed histogram =
+let run family file n trials seed b rho lazy_ start max_rounds domains keyed sequential
+    histogram =
+  if keyed && sequential then (
+    prerr_endline "cobra-sim: --keyed and --sequential are mutually exclusive";
+    exit 124);
+  let keyed = not sequential in
   let g = load_graph family file n seed in
   let branching =
     match rho with Some r -> Process.Bernoulli r | None -> Process.Fixed b
@@ -89,7 +103,7 @@ let run family file n trials seed b rho lazy_ start max_rounds domains keyed his
     (Process.expected_branching_factor branching)
     (if lazy_ then " (lazy)" else "")
     trials seed
-    (if keyed then " (keyed rng)" else "");
+    (if keyed then " (keyed rng)" else " (sequential rng)");
   Cobra_parallel.Pool.with_pool ?num_domains:domains (fun pool ->
       let est =
         if keyed then
@@ -139,7 +153,8 @@ let cmd =
   let term =
     Term.(
       const run $ family_arg $ graph_file_arg $ n_arg $ trials_arg $ seed_arg $ b_arg $ rho_arg
-      $ lazy_arg $ start_arg $ max_rounds_arg $ domains_arg $ keyed_arg $ histogram_arg)
+      $ lazy_arg $ start_arg $ max_rounds_arg $ domains_arg $ keyed_arg $ sequential_arg
+      $ histogram_arg)
   in
   Cmd.v (Cmd.info "cobra-sim" ~version:"1.0.0" ~doc) term
 

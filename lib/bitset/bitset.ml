@@ -257,13 +257,58 @@ let union_words_range ~into srcs ~lo ~hi =
   check_word_range into ~lo ~hi;
   Array.iter (fun s -> same_capacity into s) srcs;
   let dst = into.words in
+  let c = ref 0 in
   for w = lo to hi - 1 do
     let x = ref 0 in
     for s = 0 to Array.length srcs - 1 do
       x := !x lor Array.unsafe_get (Array.unsafe_get srcs s).words w
     done;
-    Array.unsafe_set dst w !x
-  done
+    Array.unsafe_set dst w !x;
+    c := !c + popcount !x
+  done;
+  !c
+
+(* Like [union_words_range], but also zeroes every source word it reads:
+   one sweep both merges the per-shard scratch sets and leaves them clean
+   for the next round, so the sharded kernels pay no separate
+   clear-scratch pass at all.  Source cardinals are NOT maintained —
+   scratch sets written through {!unsafe_add}/{!unsafe_set_bit} carry
+   meaningless counts by construction, and the merged count is the
+   returned popcount. *)
+let drain_words_range ~into srcs ~lo ~hi =
+  check_word_range into ~lo ~hi;
+  Array.iter (fun s -> same_capacity into s) srcs;
+  let dst = into.words in
+  let c = ref 0 in
+  for w = lo to hi - 1 do
+    let x = ref 0 in
+    for s = 0 to Array.length srcs - 1 do
+      let sw = (Array.unsafe_get srcs s).words in
+      let v = Array.unsafe_get sw w in
+      if v <> 0 then begin
+        x := !x lor v;
+        Array.unsafe_set sw w 0
+      end
+    done;
+    Array.unsafe_set dst w !x;
+    c := !c + popcount !x
+  done;
+  !c
+
+let popcount_words_range t ~lo ~hi =
+  check_word_range t ~lo ~hi;
+  let words = t.words in
+  let c = ref 0 in
+  for w = lo to hi - 1 do
+    c := !c + popcount (Array.unsafe_get words w)
+  done;
+  !c
+
+let clear_words_range t ~lo ~hi =
+  check_word_range t ~lo ~hi;
+  Array.fill t.words lo (hi - lo) 0
+
+let unsafe_set_cardinal t c = t.card <- c
 
 let refresh_cardinal t =
   let c = ref 0 in

@@ -108,21 +108,57 @@ val iter_range : (int -> unit) -> t -> lo:int -> hi:int -> unit
     in [lo <= w < hi], in increasing order — {!iter} restricted to a
     word range.  @raise Invalid_argument on an invalid range. *)
 
-val union_words_range : into:t -> t array -> lo:int -> hi:int -> unit
+val union_words_range : into:t -> t array -> lo:int -> hi:int -> int
 (** [union_words_range ~into srcs ~lo ~hi] overwrites each word [w] of
     [into] with [lo <= w < hi] by the bitwise OR of the corresponding
     words of [srcs] — the reduce step that combines per-domain scratch
-    sets into the round's [next] set.  Prior contents of [into] in the
+    sets into the round's [next] set — and returns the popcount of the
+    merged range, so shard counts can be summed into the exact
+    cardinality instead of re-swept.  Prior contents of [into] in the
     range are discarded (no clear needed); words outside the range are
-    untouched.  [cardinal into] is left {e stale}; call
-    {!refresh_cardinal} once all ranges are written.  All sets must
+    untouched.  [cardinal into] is left {e stale}; accumulate the
+    returned counts into {!unsafe_set_cardinal} (or call
+    {!refresh_cardinal}) once all ranges are written.  All sets must
     share a capacity.
     @raise Invalid_argument on a capacity mismatch or invalid range. *)
+
+val drain_words_range : into:t -> t array -> lo:int -> hi:int -> int
+(** [drain_words_range ~into srcs ~lo ~hi] is {!union_words_range} that
+    additionally zeroes every word of every source as it merges: the
+    single sweep that both reduces the per-domain scratch sets and
+    leaves them empty for the next round, eliminating the separate
+    clear-scratch pass.  Source [cardinal]s are {e not} maintained
+    (scratch sets are written through raw bit primitives and their
+    counts are meaningless by construction); [cardinal into] is left
+    stale exactly as in {!union_words_range}.
+    @raise Invalid_argument on a capacity mismatch or invalid range. *)
+
+val popcount_words_range : t -> lo:int -> hi:int -> int
+(** Number of set bits whose word index lies in [\[lo, hi)] — the
+    shard-local count a domain-parallel scan accumulates instead of a
+    final full-universe {!refresh_cardinal} sweep.
+    @raise Invalid_argument on an invalid range. *)
+
+val clear_words_range : t -> lo:int -> hi:int -> unit
+(** Zeroes the words in [\[lo, hi)] without touching [cardinal] — the
+    shard-local clear of a scan kernel that overwrites [next] in place
+    (each shard clears exactly the word range it then writes).
+    [cardinal] is left stale; repair it with {!unsafe_set_cardinal} or
+    {!refresh_cardinal}.
+    @raise Invalid_argument on an invalid range. *)
+
+val unsafe_set_cardinal : t -> int -> unit
+(** [unsafe_set_cardinal t c] declares [c] to be the number of set bits
+    — the O(1) repair after sharded writes whose per-range popcounts
+    were accumulated by the caller.  A wrong [c] corrupts every
+    cardinality-dependent operation; use {!refresh_cardinal} when in
+    doubt. *)
 
 val refresh_cardinal : t -> unit
 (** Recomputes the cardinality from the words in one O(num_words)
     popcount sweep — the repair step after {!unsafe_set_bit} or
-    {!union_words_range} writes. *)
+    {!union_words_range} writes when per-range counts were not
+    accumulated. *)
 
 val fold : (int -> 'a -> 'a) -> t -> 'a -> 'a
 (** Folds members in increasing order. *)

@@ -145,32 +145,97 @@ let sis_step g rng ~branching ~lazy_ ~current ~next =
    threshold. *)
 
 type keyed_ctx = {
-  streams : Keyed.t array; (* one cursor per shard *)
-  scratch : Bitset.t array; (* per-shard next buffers; [||] when serial *)
-  shard_tx : int array;
+  streams : Keyed.t array; (* one cursor per worker (0 = caller) *)
+  mutable scratch : Bitset.t array; (* per-worker next buffers; lazily allocated *)
+  shard_tx : int array; (* per-worker transmission accumulators *)
+  shard_card : int array; (* per-worker popcount accumulators (scan kernels) *)
   members : int array; (* sparse-path frontier buffer *)
   pool : Pool.t option;
-  nshards : int;
+  nworkers : int;
   dense_threshold : int;
+  (* Auto-tuner (active only when the caller did not pin a threshold).
+     Both keyed paths produce bit-identical results, so the scheduler is
+     free to A/B-probe them: the first dense round runs serial, the
+     second sharded, each measured as an EWMA of cost per member; every
+     round after that takes the measured winner, with the loser re-probed
+     every [reprobe_period] dense rounds so a machine whose behaviour
+     shifts (or a frontier whose density does) is re-evaluated.  On a
+     box where sharding loses — e.g. fewer cores than domains — dense
+     rounds converge to the serial path and pay only the amortised
+     probe. *)
+  auto_tune : bool;
+  mutable dense_rounds : int;
+  mutable serial_ns_per : float;
+  mutable par_ns_per : float;
 }
 
-(* Below this frontier/universe size a parallel_for costs more than the
-   round; the serial keyed path is taken (results are identical either
+(* Below this frontier/universe size a parallel round costs more than it
+   saves; the serial keyed path is taken (results are identical either
    way, so this is purely a scheduling decision). *)
 let default_dense_threshold = 1024
 
-let make_keyed_ctx ?pool ?(dense_threshold = default_dense_threshold) g ~master =
-  let nshards = match pool with None -> 1 | Some p -> Pool.size p in
-  let n = Graph.n g in
+(* Dense rounds between re-probes of the losing path. *)
+let reprobe_period = 32
+
+let make_keyed_ctx ?pool ?dense_threshold _g ~master =
+  let nworkers = match pool with None -> 1 | Some p -> Pool.size p in
   {
-    streams = Array.init nshards (fun _ -> Keyed.create ~master);
-    scratch = (if nshards > 1 then Array.init nshards (fun _ -> Bitset.create n) else [||]);
-    shard_tx = Array.make nshards 0;
+    streams = Array.init nworkers (fun _ -> Keyed.create ~master);
+    scratch = [||];
+    shard_tx = Array.make nworkers 0;
+    shard_card = Array.make nworkers 0;
     members = Array.make sparse_frontier_threshold 0;
     pool;
-    nshards;
-    dense_threshold;
+    nworkers;
+    dense_threshold = Option.value dense_threshold ~default:default_dense_threshold;
+    auto_tune = Option.is_none dense_threshold && nworkers > 1;
+    dense_rounds = 0;
+    serial_ns_per = Float.nan;
+    par_ns_per = Float.nan;
   }
+
+(* Scratch sets are only needed once a dense COBRA round actually
+   shards; BIPS/SIS and serial-only runs never pay the allocation. *)
+let ensure_scratch ctx n =
+  if Array.length ctx.scratch = 0 then
+    ctx.scratch <- Array.init ctx.nworkers (fun _ -> Bitset.create n)
+
+let[@inline] ewma old x = if Float.is_nan old then x else (0.7 *. old) +. (0.3 *. x)
+
+(* Path decision for a dense round under auto-tune.  Counts the round
+   and answers whether it should shard: first two dense rounds probe
+   serial then sharded; afterwards the EWMA winner runs, except on
+   re-probe rounds where the loser gets a fresh measurement. *)
+let choose_parallel ctx =
+  if not ctx.auto_tune then true
+  else begin
+    ctx.dense_rounds <- ctx.dense_rounds + 1;
+    if Float.is_nan ctx.serial_ns_per then false
+    else if Float.is_nan ctx.par_ns_per then true
+    else
+      let par_wins = ctx.par_ns_per <= ctx.serial_ns_per in
+      if ctx.dense_rounds mod reprobe_period = 0 then not par_wins else par_wins
+  end
+
+(* Record one observation of [elapsed_s] spent moving [members] vertices
+   through the chosen path. *)
+let record_round ctx ~parallel ~members ~elapsed_s =
+  if ctx.auto_tune && members > 0 then begin
+    let per = elapsed_s *. 1e9 /. float_of_int members in
+    if parallel then ctx.par_ns_per <- ewma ctx.par_ns_per per
+    else ctx.serial_ns_per <- ewma ctx.serial_ns_per per
+  end
+
+(* Chunk width (in bitset words) for the claim-based dense scan: small
+   enough that ~8 chunks per worker exist for load balancing and that a
+   dense chunk holds only a few hundred frontier members, large enough
+   that the claim fetch-and-add stays negligible.  Population-adaptive:
+   a dense frontier gets finer chunks, so a straggler's last claim is
+   bounded work regardless of how the members cluster. *)
+let[@inline] scan_chunk ~card ~nw ~workers =
+  let by_balance = max 1 (nw / (workers * 8)) in
+  let by_work = if card > 0 then max 1 (nw * 384 / card) else by_balance in
+  max 4 (min by_balance by_work)
 
 let[@inline] keyed_fanout k = function
   | Fixed b -> b
@@ -182,62 +247,101 @@ let[@inline] keyed_select g k ~lazy_ u =
 (* Canonical per-vertex draw sequence of the keyed COBRA step: fan-out
    decision first, then the selections — the same order as the
    sequential kernel, so variant alignment (Bernoulli 1.0 ≡ Fixed 2)
-   carries over. *)
-let[@inline] cobra_keyed_visit g k ~round ~branching ~lazy_ ~into u =
-  Keyed.position k ~round ~vertex:u;
+   carries over.  [base] is the hoisted round key ({!Keyed.round_base}),
+   so positioning costs one finaliser application; the non-lazy fan-out
+   additionally hoists the degree's rejection mask across the
+   selections.  Draw consumption is identical to the naive
+   position/int_below sequence, so results match it bit for bit. *)
+let[@inline] cobra_keyed_visit g k ~base ~branching ~lazy_ ~into u =
+  Keyed.position_at k ~base ~vertex:u;
   let fanout = keyed_fanout k branching in
-  for _ = 1 to fanout do
-    Bitset.unsafe_add into (keyed_select g k ~lazy_ u)
-  done;
+  if lazy_ then
+    for _ = 1 to fanout do
+      Bitset.unsafe_add into (keyed_select g k ~lazy_:true u)
+    done
+  else begin
+    let d = Graph.unsafe_degree g u in
+    if d <= 1 then
+      (* d = 0 raises exactly as [int_below 0] always did; d = 1
+         consumes no draw on either path. *)
+      for _ = 1 to fanout do
+        Bitset.unsafe_add into (Graph.unsafe_neighbor g u (Keyed.int_below k d))
+      done
+    else begin
+      let mask = Keyed.mask_below d in
+      for _ = 1 to fanout do
+        Bitset.unsafe_add into (Graph.unsafe_neighbor g u (Keyed.masked_below k ~mask d))
+      done
+    end
+  end;
   fanout
+
+(* The serial keyed COBRA round: shared by the poolless/sparse path and
+   by dense rounds whenever the tuner has parked the threshold above the
+   frontier. *)
+let cobra_step_keyed_serial g ctx ~round ~branching ~lazy_ ~current ~next c =
+  Bitset.clear next;
+  let k = ctx.streams.(0) in
+  let base = Keyed.round_base k ~round in
+  let tx = ref 0 in
+  let visit u = tx := !tx + cobra_keyed_visit g k ~base ~branching ~lazy_ ~into:next u in
+  if c > 0 && c <= sparse_frontier_threshold then begin
+    let m = Bitset.members_into current ctx.members in
+    for i = 0 to m - 1 do
+      visit (Array.unsafe_get ctx.members i)
+    done
+  end
+  else Bitset.iter visit current;
+  !tx
+
+(* Dense sharded COBRA round, one barrier: workers claim word-range
+   chunks of the frontier and scan them into private scratch sets
+   (fan-out targets land anywhere in the universe, so outputs cannot
+   share [next] directly).  The submitting thread is worker 0 — it works
+   instead of spinning at the join.  The scratches are then OR-drained
+   into [next] serially: the sweep is O(num_words) word ops, far below
+   the cost of waking the pool again, and it both counts the merged
+   cardinality and re-zeroes the scratches for the next round. *)
+let cobra_step_keyed_par g ctx pool ~round ~branching ~lazy_ ~current ~next c =
+  let n = Graph.n g in
+  let nw = Bitset.num_words current in
+  ensure_scratch ctx n;
+  let base = Keyed.round_base ctx.streams.(0) ~round in
+  let chunk = scan_chunk ~card:c ~nw ~workers:ctx.nworkers in
+  Pool.parallel_chunked pool ~lo:0 ~hi:nw ~chunk (fun ~worker ~lo ~hi ->
+      let into = ctx.scratch.(worker) in
+      let k = ctx.streams.(worker) in
+      let tx = ref 0 in
+      Bitset.iter_range
+        (fun u -> tx := !tx + cobra_keyed_visit g k ~base ~branching ~lazy_ ~into u)
+        current ~lo ~hi;
+      ctx.shard_tx.(worker) <- ctx.shard_tx.(worker) + !tx);
+  let card = Bitset.drain_words_range ~into:next ctx.scratch ~lo:0 ~hi:nw in
+  Bitset.unsafe_set_cardinal next card;
+  let tx = ref 0 in
+  for w = 0 to ctx.nworkers - 1 do
+    tx := !tx + ctx.shard_tx.(w);
+    ctx.shard_tx.(w) <- 0
+  done;
+  !tx
 
 let cobra_step_keyed g ctx ~round ~branching ~lazy_ ~current ~next =
   let c = Bitset.cardinal current in
   match ctx.pool with
-  | Some pool when ctx.nshards > 1 && c > ctx.dense_threshold ->
-      (* Dense phase: shard the frontier's word array.  Each shard scans
-         its word range into a private scratch set (fan-out targets land
-         anywhere in the universe, so outputs cannot share [next]
-         directly); the scratches are then OR-reduced into [next],
-         itself sharded by word range. *)
-      let nw = Bitset.num_words current in
-      let ns = ctx.nshards in
-      Pool.parallel_for pool ~lo:0 ~hi:ns ~chunk:1 (fun s ->
-          let lo = s * nw / ns and hi = (s + 1) * nw / ns in
-          let into = ctx.scratch.(s) in
-          Bitset.clear into;
-          let k = ctx.streams.(s) in
-          let tx = ref 0 in
-          Bitset.iter_range
-            (fun u -> tx := !tx + cobra_keyed_visit g k ~round ~branching ~lazy_ ~into u)
-            current ~lo ~hi;
-          ctx.shard_tx.(s) <- !tx);
-      Pool.parallel_for pool ~lo:0 ~hi:ns ~chunk:1 (fun s ->
-          let lo = s * nw / ns and hi = (s + 1) * nw / ns in
-          Bitset.union_words_range ~into:next ctx.scratch ~lo ~hi);
-      Bitset.refresh_cardinal next;
-      Array.fold_left ( + ) 0 ctx.shard_tx
-  | _ ->
-      (* Sparse (or poolless) phase: the sequential fast path, with
-         keyed per-vertex draws so the result matches the sharded path
-         bit for bit. *)
-      Bitset.clear next;
-      let k = ctx.streams.(0) in
-      let tx = ref 0 in
-      let visit u =
-        tx := !tx + cobra_keyed_visit g k ~round ~branching ~lazy_ ~into:next u
+  | Some pool when ctx.nworkers > 1 && c > ctx.dense_threshold ->
+      let t0 = if ctx.auto_tune then Unix.gettimeofday () else 0.0 in
+      let parallel = choose_parallel ctx in
+      let tx =
+        if parallel then cobra_step_keyed_par g ctx pool ~round ~branching ~lazy_ ~current ~next c
+        else cobra_step_keyed_serial g ctx ~round ~branching ~lazy_ ~current ~next c
       in
-      if c > 0 && c <= sparse_frontier_threshold then begin
-        let m = Bitset.members_into current ctx.members in
-        for i = 0 to m - 1 do
-          visit (Array.unsafe_get ctx.members i)
-        done
-      end
-      else Bitset.iter visit current;
-      !tx
+      if ctx.auto_tune then
+        record_round ctx ~parallel ~members:c ~elapsed_s:(Unix.gettimeofday () -. t0);
+      tx
+  | _ -> cobra_step_keyed_serial g ctx ~round ~branching ~lazy_ ~current ~next c
 
-let[@inline] keyed_infected g k ~round ~branching ~lazy_ ~current u =
-  Keyed.position k ~round ~vertex:u;
+let[@inline] keyed_infected g k ~base ~branching ~lazy_ ~current u =
+  Keyed.position_at k ~base ~vertex:u;
   let fanout = keyed_fanout k branching in
   let infected = ref false in
   for _ = 1 to fanout do
@@ -245,51 +349,76 @@ let[@inline] keyed_infected g k ~round ~branching ~lazy_ ~current u =
   done;
   !infected
 
-(* BIPS/SIS scan every vertex and write only bit [u], so shards aligned
+(* BIPS/SIS scan every vertex and write only bit [u], so chunks aligned
    to word boundaries write disjoint words of [next] directly — no
-   scratch sets, no merge; one cardinality sweep repairs the count. *)
-let[@inline] keyed_scan_par pool ctx ~n ~next body =
+   scratch sets, no merge.  Each chunk zeroes exactly the words it then
+   writes and accumulates its own popcount, so neither a full clear nor
+   a full cardinality sweep runs: the only serial work is summing one
+   integer per worker. *)
+let keyed_scan_par pool ctx ~n ~next body =
   let nw = Bitset.num_words next in
-  let ns = ctx.nshards in
-  Bitset.clear next;
-  Pool.parallel_for pool ~lo:0 ~hi:ns ~chunk:1 (fun s ->
-      let vlo = s * nw / ns * Bitset.bits_per_word in
-      let vhi = min n ((s + 1) * nw / ns * Bitset.bits_per_word) in
-      let k = ctx.streams.(s) in
+  let chunk = max 4 (nw / (ctx.nworkers * 8)) in
+  Pool.parallel_chunked pool ~lo:0 ~hi:nw ~chunk (fun ~worker ~lo ~hi ->
+      let k = ctx.streams.(worker) in
+      Bitset.clear_words_range next ~lo ~hi;
+      let vlo = lo * Bitset.bits_per_word in
+      let vhi = min n (hi * Bitset.bits_per_word) in
       for u = vlo to vhi - 1 do
         body k u
-      done);
-  Bitset.refresh_cardinal next
+      done;
+      ctx.shard_card.(worker) <-
+        ctx.shard_card.(worker) + Bitset.popcount_words_range next ~lo ~hi);
+  let card = ref 0 in
+  for w = 0 to ctx.nworkers - 1 do
+    card := !card + ctx.shard_card.(w);
+    ctx.shard_card.(w) <- 0
+  done;
+  Bitset.unsafe_set_cardinal next !card
+
+(* Dispatch one full-universe scan round: the sharded scan when the
+   pool is engaged and (under auto-tune) measured to win, the serial
+   loop otherwise.  Same probe/record protocol as the COBRA step. *)
+let keyed_scan_round ctx ~n ~par ~serial =
+  match ctx.pool with
+  | Some pool when ctx.nworkers > 1 && n > ctx.dense_threshold ->
+      let t0 = if ctx.auto_tune then Unix.gettimeofday () else 0.0 in
+      let parallel = choose_parallel ctx in
+      if parallel then par pool else serial ();
+      if ctx.auto_tune then
+        record_round ctx ~parallel ~members:n ~elapsed_s:(Unix.gettimeofday () -. t0)
+  | _ -> serial ()
 
 let bips_step_keyed g ctx ~round ~branching ~lazy_ ~source ~current ~next =
   let n = Graph.n g in
-  (match ctx.pool with
-  | Some pool when ctx.nshards > 1 && n > ctx.dense_threshold ->
+  let base = Keyed.round_base ctx.streams.(0) ~round in
+  keyed_scan_round ctx ~n
+    ~par:(fun pool ->
       keyed_scan_par pool ctx ~n ~next (fun k u ->
-          if u <> source && keyed_infected g k ~round ~branching ~lazy_ ~current u then
-            Bitset.unsafe_set_bit next u)
-  | _ ->
+          if u <> source && keyed_infected g k ~base ~branching ~lazy_ ~current u then
+            Bitset.unsafe_set_bit next u))
+    ~serial:(fun () ->
       Bitset.clear next;
       let k = ctx.streams.(0) in
       for u = 0 to n - 1 do
-        if u <> source && keyed_infected g k ~round ~branching ~lazy_ ~current u then
+        if u <> source && keyed_infected g k ~base ~branching ~lazy_ ~current u then
           Bitset.unsafe_add next u
       done);
   Bitset.add next source
 
 let sis_step_keyed g ctx ~round ~branching ~lazy_ ~current ~next =
   let n = Graph.n g in
-  match ctx.pool with
-  | Some pool when ctx.nshards > 1 && n > ctx.dense_threshold ->
+  let base = Keyed.round_base ctx.streams.(0) ~round in
+  keyed_scan_round ctx ~n
+    ~par:(fun pool ->
       keyed_scan_par pool ctx ~n ~next (fun k u ->
-          if keyed_infected g k ~round ~branching ~lazy_ ~current u then
-            Bitset.unsafe_set_bit next u)
-  | _ ->
+          if keyed_infected g k ~base ~branching ~lazy_ ~current u then
+            Bitset.unsafe_set_bit next u))
+    ~serial:(fun () ->
       Bitset.clear next;
       let k = ctx.streams.(0) in
       for u = 0 to n - 1 do
-        if keyed_infected g k ~round ~branching ~lazy_ ~current u then Bitset.unsafe_add next u
-      done
+        if keyed_infected g k ~base ~branching ~lazy_ ~current u then Bitset.unsafe_add next u
+      done)
 
 let bips_candidate_set g ~source ~current ~into =
   Bitset.clear into;

@@ -132,6 +132,12 @@ let[@inline] unsafe_keyed_neighbor t k u =
 let[@inline] unsafe_neighbor t u i =
   Array.unsafe_get t.adj (Array.unsafe_get t.offsets u + i)
 
+(* [degree] without the vertex check, paired with [unsafe_neighbor] in
+   kernels that hoist the per-vertex rejection mask over a fan-out of
+   draws below the same degree. *)
+let[@inline] unsafe_degree t u =
+  Array.unsafe_get t.offsets (u + 1) - Array.unsafe_get t.offsets u
+
 let random_neighbor t rng u =
   check_vertex t u;
   let lo = t.offsets.(u) in

@@ -66,6 +66,12 @@ val unsafe_neighbor : t -> int -> int -> int
     loops whose indices are in [0, degree u) by construction.
     Out-of-range arguments are undefined behaviour. *)
 
+val unsafe_degree : t -> int -> int
+(** [degree] without the vertex-range check — the companion of
+    {!unsafe_neighbor} for kernels that draw many indices below the same
+    degree and hoist the rejection mask across the fan-out.
+    Out-of-range [u] is undefined behaviour. *)
+
 val neighbors : t -> int -> int array
 (** Fresh array of the neighbours of [u], increasing order. *)
 

@@ -13,7 +13,7 @@ type job = {
   counter : int Atomic.t; (* next unclaimed chunk start *)
   hi : int;
   chunk : int;
-  body : int -> unit;
+  body : worker:int -> lo:int -> hi:int -> unit; (* one chunk of iterations *)
   pending : int Atomic.t; (* workers still inside the job *)
   failure : (exn * Printexc.raw_backtrace) option Atomic.t;
   cancel : Cancel.t option;
@@ -29,24 +29,35 @@ type t = {
   busy : int Atomic.t; (* workers currently inside run_job, caller included *)
   in_flight : int Atomic.t; (* parallel_for invocations currently executing *)
   completed : int Atomic.t; (* parallel_for invocations finished, ever *)
+  park : Mutex.t; (* guards parking; pairs with [wake] *)
+  wake : Condition.t; (* signalled when jobs land or the pool stops *)
+  sleepers : int Atomic.t; (* workers currently parked on [wake] *)
 }
 
 type stats = { workers : int; busy_workers : int; jobs_in_flight : int; jobs_completed : int }
 
 (* Each worker spins on its own mailbox slot.  Per-slot mailboxes avoid
-   a contended lock on every chunk claim; idleness is handled with an
-   exponential backoff below rather than a condition variable, so an
-   idle pool costs microsleeps instead of pinning a core per worker. *)
-
-(* Pure cpu_relax spins while the pool is hot (a job typically lands
-   within the spin budget), then short sleeps whose duration doubles up
-   to [max_idle_sleep].  The cap keeps wake-up latency for a new burst
-   of jobs bounded at a fraction of a millisecond. *)
+   a contended lock on every chunk claim.  Idle workers spin a short
+   budget, then park on a condition variable: a parked pool costs zero
+   CPU (no microsleep polling) and a submitter wakes it with one
+   broadcast, so wake-up latency is a few microseconds instead of the up
+   to 0.2 ms the previous sleep-backoff policy allowed.  The distinction
+   matters doubly on machines with fewer cores than workers, where every
+   cycle a sleeping poller burns is stolen from whoever holds real
+   work. *)
 let spin_budget = 512
-let initial_idle_sleep = 1e-6
-let max_idle_sleep = 2e-4
 
-let run_job ~busy job =
+(* The submitter's straggler wait (below) spins briefly, then yields the
+   processor in short naps.  On an oversubscribed machine — more workers
+   than cores, the regime CI containers run in — a pure spin here is
+   catastrophic: the caller burns its entire OS quantum busy-waiting
+   while the one domain holding the last chunk sits preempted, so a
+   3 ms round pays several milliseconds of barrier tax.  Sleeping
+   deschedules the caller and hands the core to the straggler. *)
+let pending_spin_budget = 256
+let straggler_nap = 20e-6
+
+let run_job ~busy ~worker job =
   Atomic.incr busy;
   let exception Stop in
   (try
@@ -65,15 +76,10 @@ let run_job ~busy job =
          ignore (Atomic.compare_and_set job.tripped None (Some Deadline_exceeded));
          raise Stop
        end;
+       if Atomic.get job.failure <> None then raise Stop;
        let start = Atomic.fetch_and_add job.counter job.chunk in
        if start >= job.hi then continue_ := false
-       else begin
-         let stop_ = min job.hi (start + job.chunk) in
-         for i = start to stop_ - 1 do
-           if Atomic.get job.failure <> None then raise Stop;
-           job.body i
-         done
-       end
+       else job.body ~worker ~lo:start ~hi:(min job.hi (start + job.chunk))
      done
    with
   | Stop -> ()
@@ -86,27 +92,38 @@ let run_job ~busy job =
   Atomic.decr busy;
   Atomic.decr job.pending
 
-let worker_loop mailbox stop busy =
+let worker_loop pool i =
+  let mailbox = pool.mailbox.(i) in
   let continue_ = ref true in
-  let idle_spins = ref 0 in
-  let idle_sleep = ref initial_idle_sleep in
   while !continue_ do
     match Atomic.get mailbox with
     | Some job as seen ->
-        idle_spins := 0;
-        idle_sleep := initial_idle_sleep;
         (* CAS so that the submitting thread clearing a stale mailbox and
            this worker cannot both account for the same slot. *)
-        if Atomic.compare_and_set mailbox seen None then run_job ~busy job
+        if Atomic.compare_and_set mailbox seen None then run_job ~busy:pool.busy ~worker:(i + 1) job
     | None ->
-        if Atomic.get stop then continue_ := false
-        else if !idle_spins < spin_budget then begin
-          incr idle_spins;
-          Domain.cpu_relax ()
-        end
+        if Atomic.get pool.stop then continue_ := false
         else begin
-          Unix.sleepf !idle_sleep;
-          idle_sleep := Float.min max_idle_sleep (!idle_sleep *. 2.0)
+          let spun = ref 0 in
+          while
+            !spun < spin_budget && Atomic.get mailbox = None && not (Atomic.get pool.stop)
+          do
+            incr spun;
+            Domain.cpu_relax ()
+          done;
+          if Atomic.get mailbox = None && not (Atomic.get pool.stop) then begin
+            Mutex.lock pool.park;
+            Atomic.incr pool.sleepers;
+            (* Re-check under the lock: a submitter that stored a job and
+               broadcast between our spin and the lock acquisition cannot
+               be missed, because its broadcast happens under this same
+               mutex. *)
+            while Atomic.get mailbox = None && not (Atomic.get pool.stop) do
+              Condition.wait pool.wake pool.park
+            done;
+            Atomic.decr pool.sleepers;
+            Mutex.unlock pool.park
+          end
         end
   done
 
@@ -118,21 +135,22 @@ let create ?num_domains () =
         k
     | None -> max 0 (Domain.recommended_domain_count () - 1)
   in
-  let stop = Atomic.make false in
-  let busy = Atomic.make 0 in
-  let mailbox = Array.init num_domains (fun _ -> Atomic.make None) in
-  let domains =
-    Array.init num_domains (fun i -> Domain.spawn (fun () -> worker_loop mailbox.(i) stop busy))
+  let pool =
+    {
+      domains = [||];
+      mailbox = Array.init num_domains (fun _ -> Atomic.make None);
+      stop = Atomic.make false;
+      active = true;
+      busy = Atomic.make 0;
+      in_flight = Atomic.make 0;
+      completed = Atomic.make 0;
+      park = Mutex.create ();
+      wake = Condition.create ();
+      sleepers = Atomic.make 0;
+    }
   in
-  {
-    domains;
-    mailbox;
-    stop;
-    active = true;
-    busy;
-    in_flight = Atomic.make 0;
-    completed = Atomic.make 0;
-  }
+  pool.domains <- Array.init num_domains (fun i -> Domain.spawn (fun () -> worker_loop pool i));
+  pool
 
 let size t = Array.length t.domains + 1
 
@@ -144,7 +162,28 @@ let stats t =
     jobs_completed = Atomic.get t.completed;
   }
 
-let parallel_for t ~lo ~hi ?chunk ?cancel ?deadline_s body =
+let wake_sleepers t =
+  if Atomic.get t.sleepers > 0 then begin
+    Mutex.lock t.park;
+    Condition.broadcast t.wake;
+    Mutex.unlock t.park
+  end
+
+(* Wait for straggler workers to drain their last chunk.  Spin briefly —
+   on an idle multi-core box the straggler finishes within the budget —
+   then nap so the OS can schedule the worker that actually holds the
+   work (see [straggler_nap] above). *)
+let await_pending job =
+  let spun = ref 0 in
+  while Atomic.get job.pending > 0 do
+    if !spun < pending_spin_budget then begin
+      incr spun;
+      Domain.cpu_relax ()
+    end
+    else Unix.sleepf straggler_nap
+  done
+
+let parallel_chunked t ~lo ~hi ?chunk ?cancel ?deadline_s body =
   if not t.active then invalid_arg "Pool.parallel_for: pool is shut down";
   if hi > lo then begin
     let span = hi - lo in
@@ -183,8 +222,9 @@ let parallel_for t ~lo ~hi ?chunk ?cancel ?deadline_s body =
         Atomic.incr t.completed)
       (fun () ->
         Array.iter (fun slot -> Atomic.set slot (Some job)) t.mailbox;
-        (* The caller participates, then waits for stragglers. *)
-        run_job ~busy:t.busy job;
+        wake_sleepers t;
+        (* The caller participates as worker 0, then waits for stragglers. *)
+        run_job ~busy:t.busy ~worker:0 job;
         (* Workers that never woke up in time still hold the job in their
            mailbox; reclaim those slots (CAS against the exact value we
            stored, so a concurrent worker claim wins exactly one of us) and
@@ -196,14 +236,18 @@ let parallel_for t ~lo ~hi ?chunk ?cancel ?deadline_s body =
                 if Atomic.compare_and_set slot seen None then Atomic.decr job.pending
             | _ -> ())
           t.mailbox;
-        while Atomic.get job.pending > 0 do
-          Domain.cpu_relax ()
-        done;
+        await_pending job;
         (match Atomic.get job.failure with
         | Some (e, bt) -> Printexc.raise_with_backtrace e bt
         | None -> ());
         match Atomic.get job.tripped with Some e -> raise e | None -> ())
   end
+
+let parallel_for t ~lo ~hi ?chunk ?cancel ?deadline_s body =
+  parallel_chunked t ~lo ~hi ?chunk ?cancel ?deadline_s (fun ~worker:_ ~lo ~hi ->
+      for i = lo to hi - 1 do
+        body i
+      done)
 
 let parallel_init t n f =
   if n < 0 then invalid_arg "Pool.parallel_init: negative length";
@@ -219,6 +263,9 @@ let shutdown t =
   if t.active then begin
     t.active <- false;
     Atomic.set t.stop true;
+    Mutex.lock t.park;
+    Condition.broadcast t.wake;
+    Mutex.unlock t.park;
     Array.iter Domain.join t.domains;
     t.domains <- [||]
   end

@@ -82,6 +82,22 @@ val parallel_for :
     either.  The pool remains usable afterwards.
     @raise Invalid_argument on a non-positive [chunk] or [deadline_s]. *)
 
+val parallel_chunked :
+  t -> lo:int -> hi:int -> ?chunk:int -> ?cancel:Cancel.t -> ?deadline_s:float ->
+  (worker:int -> lo:int -> hi:int -> unit) -> unit
+(** Chunk-level variant of {!parallel_for} for kernels that keep
+    per-executor state (scratch buffers, RNG cursors, partial sums).
+    The body receives each claimed chunk as a half-open range
+    [\[lo, hi)] together with the stable identity of the worker
+    executing it: [worker = 0] is the submitting thread, [1 .. size-1]
+    are the pool domains.  Distinct concurrent chunk executions always
+    carry distinct [worker] values, so indexing a [size t]-long scratch
+    array by [worker] is race-free; a worker may execute any number of
+    chunks, in any order — state indexed by [worker] must be
+    accumulative, not positional.  Cancellation, deadline, failure
+    propagation and chunk sizing behave exactly as in
+    {!parallel_for}. *)
+
 val parallel_init : t -> int -> (int -> 'a) -> 'a array
 (** [parallel_init t n f] is [Array.init n f] computed in parallel.
     [f 0] is evaluated first to seed the array; the remaining indices are

@@ -38,7 +38,44 @@ val position : ?stream:int -> t -> round:int -> vertex:int -> unit
     [(master, stream, round, vertex)].  [stream] (default 0) separates
     independent draw sequences for the same [(round, vertex)] — e.g. the
     network engine's emit/respond/update phases.  Constant time, no
-    allocation. *)
+    allocation.  Two finaliser applications; hot loops that reposition
+    once per vertex should hoist the round half with {!round_base} and
+    pay one via {!position_at}. *)
+
+val round_base : ?stream:int -> t -> round:int -> int64
+(** [round_base t ~round] is the [(stream, round)] half of the position
+    key — loop-invariant across a round's vertices.  Feed it to
+    {!position_at} to amortise the keying to a single finaliser
+    application per vertex:
+    [position_at t ~base:(round_base t ~round) ~vertex] is exactly
+    [position t ~round ~vertex]. *)
+
+val position_at : t -> base:int64 -> vertex:int -> unit
+(** [position_at t ~base ~vertex] repositions the cursor using a
+    precomputed {!round_base} — one finaliser application.  Bit-for-bit
+    the same position (hence the same draws) as {!position} with the
+    [(stream, round)] the base was built from. *)
+
+val mask_below : int -> int
+(** [mask_below n] is the smallest all-ones bit mask covering
+    [\[0, n)] — the rejection mask {!int_below} draws under, exposed so
+    kernels drawing many indices below the same bound can hoist it
+    (see {!masked_below}). *)
+
+val masked_below : t -> mask:int -> int -> int
+(** [masked_below t ~mask n] is {!int_below t n} with the mask supplied
+    by the caller; draws (and rejections) consume the counter exactly as
+    {!int_below} does, so the two are draw-for-draw interchangeable.
+    [mask] {e must} equal [mask_below n] — anything else skews the
+    distribution.  No bound validation: kernel primitive. *)
+
+val int_below_run : t -> int -> out:int array -> count:int -> unit
+(** [int_below_run t n ~out ~count] fills [out.(0 .. count-1)] with
+    [count] successive {!int_below}[ t n] draws, computing the rejection
+    mask once for the whole run — the vectorised form for fan-out loops.
+    Draw consumption is identical to [count] separate calls.
+    @raise Invalid_argument if [n <= 0] or [out] is shorter than
+    [count]. *)
 
 val derive_seed : master:int -> stream:int -> round:int -> vertex:int -> int64
 (** [derive_seed ~master ~stream ~round ~vertex] is the 64-bit position key the

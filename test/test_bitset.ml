@@ -253,17 +253,30 @@ let word_range_kernels_test =
       List.iter (Bitset.unsafe_set_bit raw) xs;
       Bitset.refresh_cardinal raw;
       let ok_raw = Bitset.equal raw bs in
-      (* union_words_range over split ranges = union_into of all sources. *)
+      (* union_words_range over split ranges = union_into of all
+         sources, and the returned range popcounts sum to the merged
+         cardinality (so unsafe_set_cardinal of the sum is exact). *)
       let third = List.filteri (fun i _ -> i mod 3 = 0) xs in
       let srcs = [| bs; Bitset.of_list cap third |] in
       let merged = Bitset.create cap in
-      Bitset.union_words_range ~into:merged srcs ~lo:0 ~hi:mid;
-      Bitset.union_words_range ~into:merged srcs ~lo:mid ~hi:nw;
-      Bitset.refresh_cardinal merged;
+      let c1 = Bitset.union_words_range ~into:merged srcs ~lo:0 ~hi:mid in
+      let c2 = Bitset.union_words_range ~into:merged srcs ~lo:mid ~hi:nw in
+      Bitset.unsafe_set_cardinal merged (c1 + c2);
       let reference = Bitset.create cap in
       Array.iter (fun s -> Bitset.union_into ~into:reference s) srcs;
-      let ok_union = Bitset.equal merged reference in
-      ok_iter_range && ok_words && ok_members && ok_raw && ok_union)
+      let ok_union =
+        Bitset.equal merged reference && Bitset.cardinal merged = Bitset.cardinal reference
+      in
+      (* drain_words_range merges identically and empties its sources. *)
+      let srcs2 = [| Bitset.copy bs; Bitset.of_list cap third |] in
+      let drained = Bitset.create cap in
+      let dc = Bitset.drain_words_range ~into:drained srcs2 ~lo:0 ~hi:nw in
+      Bitset.unsafe_set_cardinal drained dc;
+      let ok_drain =
+        Bitset.equal drained reference
+        && Array.for_all (fun s -> Bitset.popcount_words_range s ~lo:0 ~hi:nw = 0) srcs2
+      in
+      ok_iter_range && ok_words && ok_members && ok_raw && ok_union && ok_drain)
 
 let random_member_differential_test =
   QCheck2.Test.make ~name:"random_member matches rank-select reference draw-for-draw" ~count:200

@@ -131,6 +131,59 @@ let test_derive_seed_stable () =
   check_bool "stream separates seeds" true
     (s <> Keyed.derive_seed ~master:11 ~stream:2 ~round:3 ~vertex:5)
 
+let test_round_base_hoist () =
+  (* position_at with a hoisted round_base must land on exactly the
+     position that the two-mix position computes. *)
+  let a = Keyed.create ~master:17 in
+  let b = Keyed.create ~master:17 in
+  List.iter
+    (fun (round, vertex) ->
+      Keyed.position a ~round ~vertex;
+      let base = Keyed.round_base b ~round in
+      Keyed.position_at b ~base ~vertex;
+      Alcotest.(check (list int64))
+        (Printf.sprintf "round=%d vertex=%d" round vertex)
+        (draws a 4) (draws b 4))
+    [ (0, 0); (1, 1); (3, 17); (12, 65535); (100, 1) ];
+  (* A non-default stream flows through the base the same way. *)
+  Keyed.position ~stream:2 a ~round:5 ~vertex:9;
+  let base = Keyed.round_base ~stream:2 b ~round:5 in
+  Keyed.position_at b ~base ~vertex:9;
+  Alcotest.(check (list int64)) "stream=2 hoist" (draws a 4) (draws b 4)
+
+let test_masked_and_run_draw_compatible () =
+  (* mask_below is the int_below rejection mask; masked_below and
+     int_below_run must be draw-for-draw interchangeable with repeated
+     int_below — same values, same counter consumption (including
+     rejections). *)
+  List.iter
+    (fun n ->
+      let mask = Keyed.mask_below n in
+      check_bool
+        (Printf.sprintf "mask covers n=%d" n)
+        true
+        (mask >= n - 1 && (mask = 1 || mask / 2 < n - 1) && mask land (mask + 1) = 0);
+      let a = Keyed.create ~master:23 in
+      let b = Keyed.create ~master:23 in
+      let c = Keyed.create ~master:23 in
+      Keyed.position a ~round:1 ~vertex:n;
+      Keyed.position b ~round:1 ~vertex:n;
+      Keyed.position c ~round:1 ~vertex:n;
+      let count = 64 in
+      let out = Array.make count (-1) in
+      Keyed.int_below_run a n ~out ~count;
+      for i = 0 to count - 1 do
+        check_int (Printf.sprintf "n=%d draw %d (int_below)" n i) out.(i) (Keyed.int_below b n);
+        check_int
+          (Printf.sprintf "n=%d draw %d (masked_below)" n i)
+          out.(i)
+          (Keyed.masked_below c ~mask n)
+      done;
+      (* All three cursors consumed the same number of draws. *)
+      let va = Keyed.next64 a and vb = Keyed.next64 b and vc = Keyed.next64 c in
+      check_bool (Printf.sprintf "n=%d counters aligned" n) true (va = vb && vb = vc))
+    [ 1; 2; 3; 4; 7; 8; 63; 64; 65; 1000; 0x3FFFFFFF; 0x40000000; 0x40000001 ]
+
 (* --- Pool-size invariance of the sharded kernels --- *)
 
 let graphs = [ ("hypercube d=6", Gen.hypercube 6); ("torus 8x8", Gen.torus ~dims:[ 8; 8 ]) ]
@@ -232,6 +285,95 @@ let test_dense_threshold_irrelevant () =
          ~rng_mode:(Process.Keyed { master = 2017 }) ~start:0 ())
   in
   Alcotest.(check string) "threshold does not change results" forced lazy_default
+
+(* A frontier of [card] distinct vertices spread across the universe
+   (stride coprime to n), so threshold-boundary tests touch more than
+   the first word. *)
+let spread_frontier n card =
+  Bitset.of_list n (List.init card (fun i -> i * 97 mod n))
+
+let test_dense_threshold_boundary () =
+  (* Property at the scheduling crossover: for frontier cardinalities
+     threshold-1 (serial path), threshold (serial path) and threshold+1
+     (sharded path), a pinned-threshold pooled step must produce the
+     same next set, cardinality and transmission count as the poolless
+     serial step.  The universe (torus 10x10, n=100) is deliberately
+     not a multiple of bits_per_word, so the sharded scan's last
+     partial word is exercised too. *)
+  let g = Gen.torus ~dims:[ 10; 10 ] in
+  let n = Graph.n g in
+  check_bool "n exercises a partial last word" true (n mod Bitset.bits_per_word <> 0);
+  let threshold = 16 in
+  List.iter
+    (fun card ->
+      let current = spread_frontier n card in
+      check_int "frontier built with exact cardinality" card (Bitset.cardinal current);
+      let step ?pool ?dense_threshold () =
+        let ctx = Process.make_keyed_ctx ?pool ?dense_threshold g ~master:7 in
+        let next = Bitset.create n in
+        let tx =
+          Process.cobra_step_keyed g ctx ~round:2 ~branching:(Process.Fixed 2) ~lazy_:false
+            ~current ~next
+        in
+        (tx, next)
+      in
+      let tx_serial, next_serial = step () in
+      List.iter
+        (fun width ->
+          with_width width (fun pool ->
+              let tx_pool, next_pool = step ~pool ~dense_threshold:threshold () in
+              let name what =
+                Printf.sprintf "card=%d width=%d: %s" card width what
+              in
+              check_int (name "transmissions") tx_serial tx_pool;
+              check_bool (name "next sets equal") true (Bitset.equal next_serial next_pool);
+              check_int (name "cardinal repaired exactly")
+                (Bitset.cardinal next_serial) (Bitset.cardinal next_pool)))
+        [ 2; 3 ])
+    [ threshold - 1; threshold; threshold + 1 ]
+
+let test_scan_last_shard_edge () =
+  (* keyed_scan_par (BIPS/SIS) writes [next] in word-aligned chunks;
+     with n = 100 the final chunk covers a 37-bit partial word.  The
+     sharded scan must agree with the serial loop on the set and on the
+     accumulated cardinality for every pool width. *)
+  let g = Gen.torus ~dims:[ 10; 10 ] in
+  let n = Graph.n g in
+  let current = spread_frontier n 40 in
+  let bips ?pool ?dense_threshold () =
+    let ctx = Process.make_keyed_ctx ?pool ?dense_threshold g ~master:31 in
+    let next = Bitset.create n in
+    Process.bips_step_keyed g ctx ~round:3 ~branching:(Process.Fixed 2) ~lazy_:false ~source:3
+      ~current ~next;
+    next
+  in
+  let sis ?pool ?dense_threshold () =
+    let ctx = Process.make_keyed_ctx ?pool ?dense_threshold g ~master:31 in
+    let next = Bitset.create n in
+    Process.sis_step_keyed g ctx ~round:3 ~branching:(Process.Bernoulli 0.5) ~lazy_:true
+      ~current ~next;
+    next
+  in
+  let bips_serial = bips () in
+  let sis_serial = sis () in
+  List.iter
+    (fun width ->
+      with_width width (fun pool ->
+          let bips_pool = bips ~pool ~dense_threshold:1 () in
+          check_bool
+            (Printf.sprintf "bips set, %d worker(s)" width)
+            true (Bitset.equal bips_serial bips_pool);
+          check_int
+            (Printf.sprintf "bips cardinal, %d worker(s)" width)
+            (Bitset.cardinal bips_serial) (Bitset.cardinal bips_pool);
+          let sis_pool = sis ~pool ~dense_threshold:1 () in
+          check_bool
+            (Printf.sprintf "sis set, %d worker(s)" width)
+            true (Bitset.equal sis_serial sis_pool);
+          check_int
+            (Printf.sprintf "sis cardinal, %d worker(s)" width)
+            (Bitset.cardinal sis_serial) (Bitset.cardinal sis_pool)))
+    pool_widths
 
 (* --- Sequential mode unaffected --- *)
 
@@ -344,6 +486,8 @@ let () =
           Alcotest.test_case "bernoulli degenerate" `Quick test_bernoulli_degenerate;
           Alcotest.test_case "float01 range" `Quick test_float01_range;
           Alcotest.test_case "derive_seed" `Quick test_derive_seed_stable;
+          Alcotest.test_case "round_base hoist" `Quick test_round_base_hoist;
+          Alcotest.test_case "batched draws" `Quick test_masked_and_run_draw_compatible;
         ] );
       ( "pool invariance",
         [
@@ -351,6 +495,8 @@ let () =
           Alcotest.test_case "bips infected set" `Quick test_bips_pool_invariance;
           Alcotest.test_case "sis trajectory" `Quick test_sis_pool_invariance;
           Alcotest.test_case "dense threshold" `Quick test_dense_threshold_irrelevant;
+          Alcotest.test_case "threshold boundary" `Quick test_dense_threshold_boundary;
+          Alcotest.test_case "scan last-shard edge" `Quick test_scan_last_shard_edge;
           Alcotest.test_case "sequential ignores pool" `Quick test_sequential_ignores_pool;
           Alcotest.test_case "engine" `Quick test_engine_keyed_invariance;
           Alcotest.test_case "matvec + eigen" `Quick test_matvec_pool_bit_identical;
