@@ -1,4 +1,5 @@
-(* CI bench gate for the keyed-kernel scaling regression.
+(* CI bench gate for the keyed-kernel scaling and solver-cost
+   regressions.
 
    `dune exec bench/gate.exe -- [BENCH_cobra.json] [tolerance]` reads
    the structured "scaling" rows written by bench/main.exe and fails
@@ -8,10 +9,20 @@
    fixed — keyed sharding used to cost 2.5–3.5× serial — pinned so it
    can never land silently again.
 
+   It also reads the structured "spectral" rows and pins the iterative
+   solver costs from ISSUE 8: the Lanczos second eigenvalue at n = 256
+   must beat the pre-overhaul power iteration by 5x (19.07 ms seed ->
+   3.8 ms ceiling) and the CG all-pairs hitting times at n = 128 must
+   not regress past the dense-L+ seed (6.6 ms).  Absolute ceilings are
+   deliberate — a relative gate would drift with its baseline.  The
+   Lanczos ceiling carries ~2x headroom over measured cost; the CG
+   ceiling is parity with the dense solve it replaced, which CG beats
+   by a few percent at this (smallest, least favourable) size.
+
    The gate refuses to pass vacuously: a bench file with no scaling
-   rows, or rows missing the serial/domains=2 pair, is itself a failure
-   (schema drift would otherwise disable the gate without anyone
-   noticing). *)
+   rows, no spectral rows, or rows missing the required entries is
+   itself a failure (schema drift would otherwise disable the gate
+   without anyone noticing). *)
 
 module Json = Cobra_obs.Json
 
@@ -80,8 +91,48 @@ let () =
     Printf.eprintf "bench gate: no (serial, keyed domains=2) pairs found in %s\n" path;
     exit 1
   end;
-  if !failures > 0 then begin
-    Printf.eprintf "bench gate: %d of %d scaling checks failed\n" !failures !checked;
+  (* --- Spectral solver ceilings --- *)
+  let spectral_rows =
+    match Json.member doc "spectral" with
+    | Some (Json.List items) ->
+        List.filter_map
+          (fun v ->
+            let str k = Option.bind (Json.member v k) Json.to_string_opt in
+            let int k = Option.bind (Json.member v k) Json.to_int_opt in
+            let flt k = Option.bind (Json.member v k) Json.to_float_opt in
+            match (str "kernel", int "n", flt "ms_per_solve") with
+            | Some kernel, Some n, Some ms -> Some (kernel, n, ms)
+            | _ -> None)
+          items
+    | _ -> []
+  in
+  if spectral_rows = [] then begin
+    Printf.eprintf "bench gate: %s has no structured spectral rows — schema drift?\n" path;
     exit 1
   end;
-  Printf.printf "bench gate: %d scaling checks passed\n" !checked
+  (* (kernel, n, ceiling in ms).  Rows beyond this list (n = 4096,
+     n = 2^20, matvec ablation) are informational full-mode extras. *)
+  let ceilings =
+    [ ("second_eigenvalue", 256, 3.8); ("all_hitting_times_cg", 128, 6.6) ]
+  in
+  List.iter
+    (fun (kernel, n, ceiling) ->
+      match
+        List.find_opt (fun (k, n', _) -> k = kernel && n' = n) spectral_rows
+      with
+      | Some (_, _, ms) ->
+          incr checked;
+          let ok = ms <= ceiling in
+          Printf.printf "%s spectral %s n=%d: %.2f ms (ceiling %.2f ms)\n"
+            (if ok then "PASS" else "FAIL")
+            kernel n ms ceiling;
+          if not ok then incr failures
+      | None ->
+          Printf.printf "FAIL spectral %s n=%d: row missing\n" kernel n;
+          incr failures)
+    ceilings;
+  if !failures > 0 then begin
+    Printf.eprintf "bench gate: %d of %d checks failed\n" !failures !checked;
+    exit 1
+  end;
+  Printf.printf "bench gate: %d checks passed\n" !checked

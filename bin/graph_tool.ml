@@ -107,8 +107,70 @@ let dot_cmd =
     (Cmd.info "dot" ~doc:"Render a graph in Graphviz DOT format")
     Term.(const run $ file_pos $ family_arg $ n_arg $ seed_arg $ output_arg)
 
+let solver_arg =
+  let solvers = [ ("lanczos", Eigen.Lanczos); ("power", Eigen.Power); ("jacobi", Eigen.Jacobi) ] in
+  let doc = "Eigensolver: $(b,lanczos) (default), $(b,power) or $(b,jacobi) (dense, n <= 1024)." in
+  Arg.(value & opt (enum solvers) Eigen.Lanczos & info [ "solver" ] ~docv:"SOLVER" ~doc)
+
+let tol_arg =
+  Arg.(value & opt float 1e-10 & info [ "tol" ] ~docv:"TOL" ~doc:"Solver residual tolerance.")
+
+let threads_arg =
+  let doc = "Extra domains sharding the matrix-vector products (0 = serial)." in
+  Arg.(value & opt int 0 & info [ "threads" ] ~docv:"K" ~doc)
+
+let spectral_cmd =
+  let run file family n seed solver tol threads =
+    let g = obtain file family n seed in
+    Format.printf "%a@." Graph.pp_stats g;
+    if not (Props.is_connected g) then begin
+      Format.printf "graph is disconnected: lambda = 1 (no spectral mixing)@.";
+      exit 1
+    end;
+    Cobra_parallel.Pool.with_pool ~num_domains:threads (fun pool ->
+        let obs = Cobra_obs.Obs.create () in
+        (* lambda_2 (signed) and its eigenvector drive everything else:
+           lambda needs one more solve for the bottom end, the lazy
+           quantities are arithmetic on lambda_2, the sweep cut reuses
+           the vector. *)
+        (match Eigen.second_eigenvalue_r ~solver ~obs ~tol ~pool g with
+        | Ok lambda ->
+            Format.printf "lambda (abs 2nd eigenvalue of P): %.10f, gap: %.6g@." lambda
+              (1.0 -. lambda)
+        | Error nc ->
+            Format.printf
+              "lambda: NOT CONVERGED after %d iterations (%d matvecs): best %.10f, residual %.3g@."
+              nc.Eigen.iterations nc.Eigen.matvecs nc.Eigen.best nc.Eigen.residual);
+        let lambda2, v2 = Eigen.second_eigenvector ~solver ~obs ~tol ~pool g in
+        Format.printf "lambda_2 (signed): %.10f@." lambda2;
+        Format.printf "lazy lambda: %.10f, lazy gap: %.6g@."
+          ((1.0 +. lambda2) /. 2.0)
+          ((1.0 -. lambda2) /. 2.0);
+        Format.printf "bipartite: %b@." (Props.is_bipartite g);
+        let phi_upper = Conductance.sweep_of_vector g v2 in
+        Format.printf "conductance: <= %.6f (sweep cut)" phi_upper;
+        if Graph.n g <= 20 then Format.printf ", = %.6f (exact)" (Conductance.exact g);
+        Format.printf "@.";
+        Format.printf "solver telemetry:";
+        List.iter
+          (fun (name, view) ->
+            match view with
+            | Cobra_obs.Metrics.Counter_v v -> Format.printf " %s=%d" name v
+            | Cobra_obs.Metrics.Gauge_v v -> Format.printf " %s=%.3g" name v
+            | Cobra_obs.Metrics.Histogram_v _ -> ())
+          (Cobra_obs.Metrics.snapshot (Cobra_obs.Obs.metrics obs));
+        Format.printf "@.")
+  in
+  Cmd.v
+    (Cmd.info "spectral"
+       ~doc:"Eigenvalues, gaps and conductance with a selectable solver")
+    Term.(
+      const run $ file_pos $ family_arg $ n_arg $ seed_arg $ solver_arg $ tol_arg $ threads_arg)
+
 let main_cmd =
   let doc = "Generate and inspect the graph families used by the COBRA experiments" in
-  Cmd.group (Cmd.info "cobra-graph-tool" ~version:"1.0.0" ~doc) [ gen_cmd; info_cmd; dot_cmd ]
+  Cmd.group
+    (Cmd.info "cobra-graph-tool" ~version:"1.0.0" ~doc)
+    [ gen_cmd; info_cmd; dot_cmd; spectral_cmd ]
 
 let () = exit (Cmd.eval main_cmd)

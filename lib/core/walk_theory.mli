@@ -2,24 +2,32 @@
 
     The [b = 1] baseline of the paper is the simple random walk, whose
     cover time is classically sandwiched by Matthews' bounds:
-
-    [max_{u,v} H(u,v) * ln n >= E(cover) >= min... ] — precisely,
-    [E(cover) <= H_max * H_n] and [E(cover) >= H_min_pairs * H_{n-1}]
+    [E(cover) <= H_max * H_{n-1}] and [E(cover) >= H_min_pairs * H_{n-1}]
     with [H_k] the harmonic numbers and [H(u,v)] expected hitting times.
 
-    Hitting times solve the linear system
-    [h(u) = 0] at the target, [h(u) = 1 + avg over neighbours of h]
-    elsewhere; we solve it by Gauss–Seidel sweeps (guaranteed to
-    converge on connected graphs: the system is a diagonally dominant
-    M-matrix).  Exact values let the test suite pin the Monte-Carlo walk
-    engine to theory, and let experiment E9 report how close the b = 1
-    baseline sits to its classical envelope. *)
+    Hitting times to a target solve the {e grounded Laplacian} system
+    [L_g h = d] on [V \ {target}] — symmetric positive definite — which
+    is solved by Jacobi-preconditioned conjugate gradients with a
+    BFS-distance warm start: [O(sqrt(kappa))] sparse matvecs instead of
+    the dense [O(n^3)] pseudo-inverse, so single-target hitting times
+    scale to [n] in the millions.  The dense [L^+] route survives as
+    {!all_hitting_times_dense} / {!laplacian_pseudoinverse}: it is the
+    small-[n] oracle the differential tests pin the CG path against.
+
+    Exact values let the test suite pin the Monte-Carlo walk engine to
+    theory, and let experiment E9 report how close the [b = 1] baseline
+    sits to its classical envelope. *)
 
 val hitting_times :
-  ?tol:float -> ?max_sweeps:int -> Cobra_graph.Graph.t -> target:int -> float array
+  ?obs:Cobra_obs.Obs.t -> ?tol:float -> ?max_iter:int ->
+  Cobra_graph.Graph.t -> target:int -> float array
 (** [hitting_times g ~target] is the array [u -> E(H(u, target))] for the
-    simple random walk; entry [target] is 0.  [tol] (default 1e-10) is
-    the max-norm residual threshold; [max_sweeps] defaults to 1e6.
+    simple random walk; entry [target] is 0.  Solved by preconditioned
+    CG on the grounded Laplacian: [tol] (default [1e-8]) is the
+    relative-residual threshold [||L_g h - d|| / ||d||], [max_iter]
+    (default [max 1000 (20 n)]) caps CG iterations.  Deterministic.
+    [obs] counts solves/iterations under the [walk] scope and gauges the
+    final residual.
 
     @raise Invalid_argument on a disconnected graph or bad target. *)
 
@@ -29,31 +37,40 @@ val laplacian_pseudoinverse : Cobra_graph.Graph.t -> float array array
     identity [(L + J/n)^{-1} = L^+ + J/n].  O(n^3); intended for [n] up
     to ~1500.  @raise Invalid_argument on a disconnected graph. *)
 
-val all_hitting_times : Cobra_graph.Graph.t -> float array array
+val all_hitting_times :
+  ?obs:Cobra_obs.Obs.t -> ?tol:float -> ?max_iter:int -> ?pool:Cobra_parallel.Pool.t ->
+  Cobra_graph.Graph.t -> float array array
 (** [all_hitting_times g] is the matrix [h.(u).(v) = E(H(u, v))] for all
-    pairs, from [L^+] by the Fouss et al. identity
-    [H(u,v) = sum_k d(k) (L^+_{uk} - L^+_{uv} - L^+_{vk} + L^+_{vv})].
-    O(n^3) total — much faster than [n] iterative solves on
-    slowly-mixing graphs. *)
+    pairs: one CG solve per target column, spread over [pool] when
+    given (columns are independent; the result does not depend on the
+    pool).  [tol] and [max_iter] are per-solve as in {!hitting_times}.
 
-val max_hitting_time : ?tol:float -> Cobra_graph.Graph.t -> float
+    @raise Invalid_argument on a disconnected graph. *)
+
+val all_hitting_times_dense : Cobra_graph.Graph.t -> float array array
+(** The dense oracle: all pairs from [L^+] by the Fouss et al. identity
+    [H(u,v) = sum_k d(k) (L^+_{uk} - L^+_{uv} - L^+_{vk} + L^+_{vv})].
+    O(n^3) and [n <= 1500]; kept to cross-check the CG path. *)
+
+val max_hitting_time :
+  ?obs:Cobra_obs.Obs.t -> ?tol:float -> ?max_iter:int -> ?pool:Cobra_parallel.Pool.t ->
+  Cobra_graph.Graph.t -> float
 (** [max_hitting_time g] is [max_{u,v} E(H(u, v))], via
-    {!all_hitting_times}.  ([tol] is accepted for interface stability
-    and ignored by the dense path.) *)
+    {!all_hitting_times}. *)
 
 val effective_resistance : Cobra_graph.Graph.t -> int -> int -> float
 (** [effective_resistance g u v] between two vertices, from [L^+]:
     [R(u,v) = L^+_{uu} + L^+_{vv} - 2 L^+_{uv}].  The commute time is
-    [2 m R(u,v)]. *)
+    [2 m R(u,v)].  Dense path (the tests want [1e-9] here). *)
 
 val harmonic : int -> float
 (** [harmonic k] is [H_k = 1 + 1/2 + ... + 1/k]; [H_0 = 0]. *)
 
-val matthews_upper : Cobra_graph.Graph.t -> float
+val matthews_upper : ?pool:Cobra_parallel.Pool.t -> Cobra_graph.Graph.t -> float
 (** Matthews' upper bound on the walk cover time from any start:
     [H_max * H_{n-1}]. *)
 
-val matthews_lower : Cobra_graph.Graph.t -> float
+val matthews_lower : ?pool:Cobra_parallel.Pool.t -> Cobra_graph.Graph.t -> float
 (** A Matthews-type lower bound: [min_{u <> v} H(u, v) * H_{n-1}].
     Coarse but non-trivial on transitive graphs. *)
 

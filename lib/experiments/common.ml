@@ -6,8 +6,8 @@ let graph_of name ~n ~seed =
   let rng = Cobra_prng.Rng.create (seed + (1000 * n)) in
   Cobra_graph.Gen.by_name name ~n rng
 
-let lambda_of g = Cobra_spectral.Eigen.second_eigenvalue g
-let lazy_gap_of g = Cobra_spectral.Eigen.lazy_eigenvalue_gap g
+let lambda_of ?obs ?pool g = Cobra_spectral.Eigen.second_eigenvalue ?obs ?pool g
+let lazy_gap_of ?obs ?pool g = Cobra_spectral.Eigen.lazy_eigenvalue_gap ?obs ?pool g
 let verdict ok = if ok then "PASS" else "FAIL"
 let section title = Printf.sprintf "\n-- %s --\n" title
 

@@ -9,10 +9,13 @@ val cover :
 val graph_of : string -> n:int -> seed:int -> Cobra_graph.Graph.t
 (** Deterministic instance of a named family at ~[n] vertices. *)
 
-val lambda_of : Cobra_graph.Graph.t -> float
-(** Measured absolute second eigenvalue (power iteration). *)
+val lambda_of :
+  ?obs:Cobra_obs.Obs.t -> ?pool:Cobra_parallel.Pool.t -> Cobra_graph.Graph.t -> float
+(** Measured absolute second eigenvalue (Lanczos; [pool] shards the
+    matvecs, [obs] records solver telemetry). *)
 
-val lazy_gap_of : Cobra_graph.Graph.t -> float
+val lazy_gap_of :
+  ?obs:Cobra_obs.Obs.t -> ?pool:Cobra_parallel.Pool.t -> Cobra_graph.Graph.t -> float
 (** Measured lazy eigenvalue gap [(1 - lambda_2)/2]. *)
 
 val verdict : bool -> string

@@ -32,7 +32,7 @@ let run ~obs ~pool ~master_seed ~scale =
       List.iter
         (fun n ->
           let g = Common.graph_of family ~n ~seed:master_seed in
-          let lambda = Common.lambda_of g in
+          let lambda = Common.lambda_of ~obs ~pool g in
           if (not (Graph.is_regular g)) || lambda >= 1.0 then all_valid := false
           else begin
             let r = Graph.max_degree g in

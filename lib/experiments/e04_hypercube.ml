@@ -33,7 +33,7 @@ let run ~obs ~pool ~master_seed ~scale =
     (fun d ->
       let g = Gen.hypercube d in
       let n = Graph.n g in
-      let gap = Common.lazy_gap_of g in
+      let gap = Common.lazy_gap_of ~obs ~pool g in
       let lambda = 1.0 -. gap in
       let phi = 1.0 /. float_of_int d in
       let plain = Common.cover ~obs ~pool ~master_seed ~trials ~start:0 g in

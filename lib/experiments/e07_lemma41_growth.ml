@@ -3,7 +3,7 @@ module Table = Cobra_stats.Table
 module Process = Cobra_core.Process
 module Growth = Cobra_core.Growth
 
-let run ~obs:_ ~pool ~master_seed ~scale =
+let run ~obs ~pool ~master_seed ~scale =
   let n, trajectories =
     match scale with Experiment.Quick -> (128, 100) | Experiment.Full -> (512, 400)
   in
@@ -14,7 +14,7 @@ let run ~obs:_ ~pool ~master_seed ~scale =
       let g =
         Cobra_graph.Gen.random_regular ~n ~r:8 (Cobra_prng.Rng.create (master_seed + 17))
       in
-      let lambda = Common.lambda_of g in
+      let lambda = Common.lambda_of ~obs ~pool g in
       Buffer.add_string buf
         (Common.section
            (Printf.sprintf "random 8-regular, n = %d, lambda = %.4f, %s" n lambda rho_label));

@@ -3,7 +3,7 @@ module Table = Cobra_stats.Table
 module Process = Cobra_core.Process
 module Growth = Cobra_core.Growth
 
-let run ~obs:_ ~pool ~master_seed ~scale =
+let run ~obs ~pool ~master_seed ~scale =
   let cases, trajectories =
     match scale with
     | Experiment.Quick -> ([ ("regular-8", 128) ], 60)
@@ -15,7 +15,7 @@ let run ~obs:_ ~pool ~master_seed ~scale =
     (fun (family, n) ->
       let g = Common.graph_of family ~n ~seed:master_seed in
       let n_real = Graph.n g in
-      let lambda = Common.lambda_of g in
+      let lambda = Common.lambda_of ~obs ~pool g in
       let target = (1.0 -. lambda) /. 2.0 in
       Buffer.add_string buf
         (Common.section

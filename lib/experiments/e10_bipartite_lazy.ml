@@ -27,8 +27,8 @@ let run ~obs ~pool ~master_seed ~scale =
   List.iter
     (fun (name, g) ->
       let bip = Props.is_bipartite g in
-      let lambda = Common.lambda_of g in
-      let lazy_gap = Common.lazy_gap_of g in
+      let lambda = Common.lambda_of ~obs ~pool g in
+      let lazy_gap = Common.lazy_gap_of ~obs ~pool g in
       let plain = Common.cover ~obs ~pool ~master_seed ~trials g in
       let lzy = Common.cover ~obs ~pool ~master_seed:(master_seed + 1) ~trials ~lazy_:true g in
       (* All these instances are regular, so Theorem 1.2 applies to the

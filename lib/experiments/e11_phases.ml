@@ -22,7 +22,7 @@ let run ~obs ~pool ~master_seed ~scale =
     (fun (family, n) ->
       let g = Common.graph_of family ~n ~seed:master_seed in
       let n_real = Graph.n g in
-      let lambda = Common.lambda_of g in
+      let lambda = Common.lambda_of ~obs ~pool g in
       let gap = 1.0 -. lambda in
       let threshold = Phases.default_small_threshold ~n:n_real ~lambda in
       let split_codec =

@@ -192,6 +192,8 @@ let degree_of_set t s =
   Cobra_bitset.Bitset.fold (fun u acc -> acc + (t.offsets.(u + 1) - t.offsets.(u))) s 0
 
 let total_degree t = 2 * t.m
+let csr_offsets t = t.offsets
+let csr_adjacency t = t.adj
 
 let pp_stats ppf t =
   Format.fprintf ppf "n=%d m=%d deg=[%d..%d]%s" t.n t.m (min_degree t) (max_degree t)

@@ -97,5 +97,16 @@ val degree_of_set : t -> Cobra_bitset.Bitset.t -> int
 val total_degree : t -> int
 (** [total_degree g = 2 * m g]. *)
 
+val csr_offsets : t -> int array
+(** The underlying CSR offset array (length [n + 1]): the neighbours of
+    [u] live at [adj.(offsets.(u)) .. adj.(offsets.(u + 1) - 1)].  The
+    array is the graph's own storage, shared, and must not be mutated —
+    it exists so flat kernels (blocked matvec, CG solvers) can stream
+    the structure without per-edge closure calls. *)
+
+val csr_adjacency : t -> int array
+(** The underlying CSR adjacency array (length [2 m], each slice
+    sorted).  Shared storage; must not be mutated. *)
+
 val pp_stats : Format.formatter -> t -> unit
 (** One-line summary: n, m, degree range. *)

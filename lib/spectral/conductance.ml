@@ -55,10 +55,10 @@ let exact g =
   done;
   !best
 
-let sweep_upper_bound ?tol ?max_iter ?seed g =
+let sweep_of_vector g v =
   let n = Graph.n g in
-  if n < 2 then invalid_arg "Conductance.sweep_upper_bound: need at least 2 vertices";
-  let _, v = Eigen.second_eigenvector ?tol ?max_iter ?seed g in
+  if n < 2 then invalid_arg "Conductance.sweep_of_vector: need at least 2 vertices";
+  if Array.length v <> n then invalid_arg "Conductance.sweep_of_vector: length mismatch";
   let order = Array.init n (fun i -> i) in
   Array.sort (fun a b -> Float.compare v.(a) v.(b)) order;
   let total = Graph.total_degree g in
@@ -77,5 +77,11 @@ let sweep_upper_bound ?tol ?max_iter ?seed g =
     end
   done;
   !best
+
+let sweep_upper_bound ?solver ?obs ?tol ?max_iter ?seed ?pool g =
+  let n = Graph.n g in
+  if n < 2 then invalid_arg "Conductance.sweep_upper_bound: need at least 2 vertices";
+  let _, v = Eigen.second_eigenvector ?solver ?obs ?tol ?max_iter ?seed ?pool g in
+  sweep_of_vector g v
 
 let cheeger_lower_bound ~gap = gap /. 2.0

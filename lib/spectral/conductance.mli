@@ -24,11 +24,21 @@ val exact : Cobra_graph.Graph.t -> float
     O(2^n); restricted to [n <= 24].
     @raise Invalid_argument if [Graph.n g > 24] or [n < 2]. *)
 
+val sweep_of_vector : Cobra_graph.Graph.t -> float array -> float
+(** [sweep_of_vector g v] is the minimum conductance over the [n - 1]
+    prefix cuts of the vertices ordered by [v] — the sweep-cut rounding
+    of any embedding vector.  Callers that already hold the second
+    eigenvector use this directly instead of paying a fresh solve.
+    @raise Invalid_argument on [n < 2] or a length mismatch. *)
+
 val sweep_upper_bound :
-  ?tol:float -> ?max_iter:int -> ?seed:int -> Cobra_graph.Graph.t -> float
+  ?solver:Eigen.solver -> ?obs:Cobra_obs.Obs.t -> ?tol:float -> ?max_iter:int ->
+  ?seed:int -> ?pool:Cobra_parallel.Pool.t -> Cobra_graph.Graph.t -> float
 (** [sweep_upper_bound g] orders vertices by the second eigenvector of
     [P] and returns the minimum conductance over all prefix cuts — an
-    upper bound on [phi(G)], tight up to Cheeger's quadratic loss. *)
+    upper bound on [phi(G)], tight up to Cheeger's quadratic loss.
+    [solver], [obs], [tol], [max_iter], [seed] and [pool] are passed to
+    {!Eigen.second_eigenvector}. *)
 
 val cheeger_lower_bound : gap:float -> float
 (** [cheeger_lower_bound ~gap] is [gap / 2]: from [1 - lambda <= 2 phi],

@@ -1,10 +1,36 @@
 module Graph = Cobra_graph.Graph
+module Obs = Cobra_obs.Obs
+module Metrics = Cobra_obs.Metrics
+
+type solver = Lanczos | Power | Jacobi
+
+type not_converged = { best : float; iterations : int; matvecs : int; residual : float }
+
+(* Solver telemetry: iteration/matvec counts and final residuals land in
+   the metrics registry so manifests show convergence behaviour instead
+   of solvers spinning (or bailing) silently. *)
+let emit_obs obs ~(solver : solver) ~iterations ~matvecs ~restarts ~residual ~converged =
+  if Obs.enabled obs then begin
+    let m = Obs.metrics obs in
+    let scope = "spectral" in
+    let name =
+      match solver with Lanczos -> "lanczos" | Power -> "power" | Jacobi -> "jacobi"
+    in
+    Metrics.incr (Metrics.counter m ~scope ("solves_" ^ name));
+    Metrics.add (Metrics.counter m ~scope "iterations") iterations;
+    Metrics.add (Metrics.counter m ~scope "matvecs") matvecs;
+    Metrics.add (Metrics.counter m ~scope "restarts") restarts;
+    Metrics.set (Metrics.gauge m ~scope "last_residual") residual;
+    if not converged then Metrics.incr (Metrics.counter m ~scope "not_converged")
+  end
 
 (* Deflated power iteration for the dominant eigenvalue of
    [shift * I + sign * N] restricted to the orthogonal complement of the
-   stationary direction.  Returns (rayleigh_quotient, eigenvector). *)
+   stationary direction.  Returns (rayleigh, eigenvector, iterations,
+   converged).  Kept as a cross-check solver for the Lanczos path. *)
 let power_deflated ?pool ~shift ~sign ~tol ~max_iter ~seed g =
   let n = Graph.n g in
+  let op = Matvec.normalized_op g in
   let pi = Matvec.stationary_direction g in
   let rng = Cobra_prng.Rng.create seed in
   let x = Array.init n (fun _ -> Cobra_prng.Rng.float01 rng -. 0.5) in
@@ -17,10 +43,11 @@ let power_deflated ?pool ~shift ~sign ~tol ~max_iter ~seed g =
   Matvec.scale_to_unit x;
   let rayleigh = ref 0.0 in
   let continue_ = ref true in
+  let converged = ref false in
   let iter = ref 0 in
   while !continue_ && !iter < max_iter do
     incr iter;
-    Matvec.apply_normalized ?pool g x y;
+    Matvec.apply ?pool op x y;
     (* y := shift * x + sign * N x *)
     for i = 0 to n - 1 do
       y.(i) <- (shift *. x.(i)) +. (sign *. y.(i))
@@ -32,55 +59,21 @@ let power_deflated ?pool ~shift ~sign ~tol ~max_iter ~seed g =
       (* The deflated component vanished: the non-principal spectrum of
          the shifted operator is (numerically) zero. *)
       rayleigh := 0.0;
+      converged := true;
       continue_ := false
     end
     else begin
       for i = 0 to n - 1 do
         x.(i) <- y.(i) /. nrm
       done;
-      if Float.abs (r -. !rayleigh) < tol && !iter > 16 then continue_ := false;
+      if Float.abs (r -. !rayleigh) < tol && !iter > 16 then begin
+        converged := true;
+        continue_ := false
+      end;
       rayleigh := r
     end
   done;
-  (!rayleigh, x)
-
-let second_eigenvalue ?(tol = 1e-10) ?(max_iter = 200_000) ?(seed = 1) ?pool g =
-  if Graph.n g = 0 then invalid_arg "Eigen.second_eigenvalue: empty graph";
-  if Graph.n g = 1 then 0.0
-  else begin
-    (* Dominant deflated eigenvalue of I + N is 1 + lambda_2; of I - N it
-       is 1 - lambda_n.  Both operators are PSD on connected graphs, so
-       power iteration converges monotonically. *)
-    let top, _ = power_deflated ?pool ~shift:1.0 ~sign:1.0 ~tol ~max_iter ~seed g in
-    let bot, _ = power_deflated ?pool ~shift:1.0 ~sign:(-1.0) ~tol ~max_iter ~seed:(seed + 1) g in
-    let lambda2 = top -. 1.0 in
-    let neg_lambda_n = bot -. 1.0 in
-    Float.max 0.0 (Float.min 1.0 (Float.max lambda2 neg_lambda_n))
-  end
-
-let eigenvalue_gap ?tol ?max_iter ?seed ?pool g =
-  1.0 -. second_eigenvalue ?tol ?max_iter ?seed ?pool g
-
-let second_eigenvector ?(tol = 1e-10) ?(max_iter = 200_000) ?(seed = 1) ?pool g =
-  if Graph.n g = 0 then invalid_arg "Eigen.second_eigenvector: empty graph";
-  let n = Graph.n g in
-  let r, v = power_deflated ?pool ~shift:1.0 ~sign:1.0 ~tol ~max_iter ~seed g in
-  let lambda2 = r -. 1.0 in
-  (* Convert the eigenvector of N into one of P: v_P = D^{-1/2} v_N. *)
-  let vp =
-    Array.init n (fun u ->
-        let d = Graph.degree g u in
-        if d = 0 then 0.0 else v.(u) /. sqrt (float_of_int d))
-  in
-  Matvec.scale_to_unit vp;
-  (lambda2, vp)
-
-let lazy_second_eigenvalue ?tol ?max_iter ?seed ?pool g =
-  let lambda2, _ = second_eigenvector ?tol ?max_iter ?seed ?pool g in
-  Float.max 0.0 (Float.min 1.0 ((1.0 +. lambda2) /. 2.0))
-
-let lazy_eigenvalue_gap ?tol ?max_iter ?seed ?pool g =
-  1.0 -. lazy_second_eigenvalue ?tol ?max_iter ?seed ?pool g
+  (!rayleigh, x, !iter, !converged)
 
 (* --- Dense reference solver: cyclic Jacobi on the symmetric N --- *)
 
@@ -164,3 +157,113 @@ let second_eigenvalue_exact g =
   let eigs = dense_spectrum g in
   let n = Array.length eigs in
   if n = 1 then 0.0 else Float.max (Float.abs eigs.(1)) (Float.abs eigs.(n - 1))
+
+(* --- Lanczos driver: both spectrum ends in one basis --- *)
+
+let lanczos_extremes ?pool ~tol ~max_matvecs ~seed g =
+  let n = Graph.n g in
+  let op = Matvec.normalized_op g in
+  let pi = Matvec.stationary_direction g in
+  Lanczos.extremes ~n
+    ~matvec:(fun x y -> Matvec.apply ?pool op x y)
+    ~ortho:[| pi |] ~tol ~max_matvecs ~seed ?pool ()
+
+let clamp01 x = Float.max 0.0 (Float.min 1.0 x)
+
+let second_eigenvalue_r ?(solver = Lanczos) ?(obs = Obs.null) ?(tol = 1e-10)
+    ?(max_iter = 200_000) ?(seed = 1) ?pool g =
+  if Graph.n g = 0 then invalid_arg "Eigen.second_eigenvalue: empty graph";
+  if Graph.n g = 1 then Ok 0.0
+  else
+    match solver with
+    | Jacobi ->
+        let lambda = second_eigenvalue_exact g in
+        emit_obs obs ~solver ~iterations:0 ~matvecs:0 ~restarts:0 ~residual:0.0 ~converged:true;
+        Ok lambda
+    | Lanczos ->
+        let r = lanczos_extremes ?pool ~tol ~max_matvecs:max_iter ~seed g in
+        let lambda = clamp01 (Float.max (Float.abs r.top) (Float.abs r.bottom)) in
+        emit_obs obs ~solver ~iterations:r.stats.iterations ~matvecs:r.stats.matvecs
+          ~restarts:r.stats.restarts ~residual:r.stats.residual ~converged:r.stats.converged;
+        if r.stats.converged then Ok lambda
+        else
+          Error
+            {
+              best = lambda;
+              iterations = r.stats.iterations;
+              matvecs = r.stats.matvecs;
+              residual = r.stats.residual;
+            }
+    | Power ->
+        (* Dominant deflated eigenvalue of I + N is 1 + lambda_2; of
+           I - N it is 1 - lambda_n.  Both operators are PSD on
+           connected graphs, so power iteration cannot oscillate. *)
+        let top, _, it1, ok1 = power_deflated ?pool ~shift:1.0 ~sign:1.0 ~tol ~max_iter ~seed g in
+        let bot, _, it2, ok2 =
+          power_deflated ?pool ~shift:1.0 ~sign:(-1.0) ~tol ~max_iter ~seed:(seed + 1) g
+        in
+        let lambda2 = top -. 1.0 in
+        let neg_lambda_n = bot -. 1.0 in
+        let lambda = clamp01 (Float.max lambda2 neg_lambda_n) in
+        let converged = ok1 && ok2 in
+        emit_obs obs ~solver ~iterations:(it1 + it2) ~matvecs:(it1 + it2) ~restarts:0
+          ~residual:(if converged then 0.0 else nan)
+          ~converged;
+        if converged then Ok lambda
+        else
+          Error { best = lambda; iterations = it1 + it2; matvecs = it1 + it2; residual = nan }
+
+(* The plain entry point keeps its historical contract — always a float,
+   clamped to [0, 1] — but a failed convergence is no longer silent: it
+   bumps the [spectral/not_converged] counter (via {!second_eigenvalue_r})
+   and the typed result is one call away. *)
+let second_eigenvalue ?solver ?obs ?tol ?max_iter ?seed ?pool g =
+  match second_eigenvalue_r ?solver ?obs ?tol ?max_iter ?seed ?pool g with
+  | Ok lambda -> lambda
+  | Error { best; _ } -> best
+
+let eigenvalue_gap ?solver ?obs ?tol ?max_iter ?seed ?pool g =
+  1.0 -. second_eigenvalue ?solver ?obs ?tol ?max_iter ?seed ?pool g
+
+let second_eigenvector ?(solver = Lanczos) ?(obs = Obs.null) ?(tol = 1e-10)
+    ?(max_iter = 200_000) ?(seed = 1) ?pool g =
+  if Graph.n g = 0 then invalid_arg "Eigen.second_eigenvector: empty graph";
+  let n = Graph.n g in
+  let lambda2, v =
+    match solver with
+    | Lanczos ->
+        let r = lanczos_extremes ?pool ~tol ~max_matvecs:max_iter ~seed g in
+        emit_obs obs ~solver ~iterations:r.stats.iterations ~matvecs:r.stats.matvecs
+          ~restarts:r.stats.restarts ~residual:r.stats.residual ~converged:r.stats.converged;
+        (r.top, r.top_vec)
+    | Power ->
+        let r, x, it, ok = power_deflated ?pool ~shift:1.0 ~sign:1.0 ~tol ~max_iter ~seed g in
+        emit_obs obs ~solver ~iterations:it ~matvecs:it ~restarts:0
+          ~residual:(if ok then 0.0 else nan)
+          ~converged:ok;
+        (r -. 1.0, x)
+    | Jacobi ->
+        if n > 1024 then
+          invalid_arg "Eigen.second_eigenvector: graph too large for the dense solver";
+        let eigs, z = Lanczos.sym_eig (dense_normalized g) in
+        (* Ascending order: the principal pair is last; the second
+           largest (signed) eigenvalue of P is just before it. *)
+        let j = Int.max 0 (n - 2) in
+        emit_obs obs ~solver ~iterations:0 ~matvecs:0 ~restarts:0 ~residual:0.0 ~converged:true;
+        (eigs.(j), Array.init n (fun i -> z.(i).(j)))
+  in
+  (* Convert the eigenvector of N into one of P: v_P = D^{-1/2} v_N. *)
+  let vp =
+    Array.init n (fun u ->
+        let d = Graph.degree g u in
+        if d = 0 then 0.0 else v.(u) /. sqrt (float_of_int d))
+  in
+  Matvec.scale_to_unit vp;
+  (lambda2, vp)
+
+let lazy_second_eigenvalue ?solver ?obs ?tol ?max_iter ?seed ?pool g =
+  let lambda2, _ = second_eigenvector ?solver ?obs ?tol ?max_iter ?seed ?pool g in
+  Float.max 0.0 (Float.min 1.0 ((1.0 +. lambda2) /. 2.0))
+
+let lazy_eigenvalue_gap ?solver ?obs ?tol ?max_iter ?seed ?pool g =
+  1.0 -. lazy_second_eigenvalue ?solver ?obs ?tol ?max_iter ?seed ?pool g

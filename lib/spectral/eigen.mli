@@ -7,50 +7,74 @@
     Connected non-bipartite graphs have [lambda < 1]; bipartite ones have
     [lambda_n = -1], i.e. [lambda = 1].
 
-    Two solvers are provided: deflated power iteration on the symmetric
-    normalisation (scales to large sparse graphs) and a dense cyclic
-    Jacobi eigensolver (exact reference for small graphs and the test
-    oracle for the iterative path). *)
+    Three solvers are provided, selectable per call:
+    - [Lanczos] (default): thick-restart Lanczos on the symmetric
+      normalisation with the stationary component deflated — both ends
+      of the spectrum from one basis in tens of matvecs; scales to
+      [n = 2^20] and beyond.
+    - [Power]: the historical deflated power iteration, kept as a
+      cross-check (thousands of matvecs on small gaps).
+    - [Jacobi]: the dense cyclic-Jacobi reference ([n <= 1024]) — the
+      test oracle for both iterative paths. *)
 
-val second_eigenvalue :
-  ?tol:float -> ?max_iter:int -> ?seed:int -> ?pool:Cobra_parallel.Pool.t ->
-  Cobra_graph.Graph.t -> float
-(** [second_eigenvalue g] estimates [lambda(G)].
+type solver = Lanczos | Power | Jacobi
 
-    Power iteration is run on the two shifted operators [I + N] and
-    [I - N] (with the stationary component deflated), whose dominant
-    deflated eigenvalues are [1 + lambda_2] and [1 - lambda_n]; shifting
-    makes both spectra non-negative so the iteration cannot oscillate,
-    and [lambda = max(lambda_2, -lambda_n)].
+type not_converged = {
+  best : float;      (** Best estimate at the point the solver gave up (clamped). *)
+  iterations : int;
+  matvecs : int;
+  residual : float;  (** Final residual ([nan] when the solver has no residual, e.g. Power). *)
+}
+(** Typed non-convergence outcome: what {!second_eigenvalue_r} returns
+    instead of presenting the last iterate as exact. *)
 
-    [tol] (default [1e-10]) is the convergence threshold on the Rayleigh
-    quotient; [max_iter] (default [200_000]) caps iterations; [seed]
-    (default 1) fixes the random start vector.  The result is clamped to
-    [[0, 1]].
+val second_eigenvalue_r :
+  ?solver:solver -> ?obs:Cobra_obs.Obs.t -> ?tol:float -> ?max_iter:int -> ?seed:int ->
+  ?pool:Cobra_parallel.Pool.t -> Cobra_graph.Graph.t -> (float, not_converged) result
+(** [second_eigenvalue_r g] estimates [lambda(G)], reporting failure to
+    converge as [Error] with the best available estimate and the final
+    residual rather than pretending the last iterate is exact.
 
-    [pool] shards every matrix–vector product over its domains (see
-    {!Matvec.apply_normalized}); the iteration — and hence the result —
-    is bit-identical for any pool size.
+    [tol] (default [1e-10]) is the convergence threshold (Lanczos:
+    relative Ritz residual; Power: Rayleigh-quotient delta); [max_iter]
+    (default [200_000]) caps matvecs (Lanczos) or power steps per
+    operator; [seed] (default 1) fixes the random start vector.  [pool]
+    shards every matrix–vector product (see {!Matvec.apply}); the solve
+    is bit-identical for any pool width.
+
+    [obs] records solver telemetry under the [spectral] scope:
+    [iterations], [matvecs], [restarts] counters, a [last_residual]
+    gauge, and a [not_converged] counter.
 
     @raise Invalid_argument on the empty graph. *)
 
+val second_eigenvalue :
+  ?solver:solver -> ?obs:Cobra_obs.Obs.t -> ?tol:float -> ?max_iter:int -> ?seed:int ->
+  ?pool:Cobra_parallel.Pool.t -> Cobra_graph.Graph.t -> float
+(** [second_eigenvalue g] is {!second_eigenvalue_r} collapsed to a
+    float, clamped to [[0, 1]].  On non-convergence it returns the best
+    estimate — the historical contract — but the failure is counted in
+    [obs] ([spectral/not_converged]); callers that must distinguish use
+    {!second_eigenvalue_r}. *)
+
 val eigenvalue_gap :
-  ?tol:float -> ?max_iter:int -> ?seed:int -> ?pool:Cobra_parallel.Pool.t ->
-  Cobra_graph.Graph.t -> float
+  ?solver:solver -> ?obs:Cobra_obs.Obs.t -> ?tol:float -> ?max_iter:int -> ?seed:int ->
+  ?pool:Cobra_parallel.Pool.t -> Cobra_graph.Graph.t -> float
 (** [eigenvalue_gap g = 1 - second_eigenvalue g]. *)
 
 val second_eigenvector :
-  ?tol:float -> ?max_iter:int -> ?seed:int -> ?pool:Cobra_parallel.Pool.t ->
-  Cobra_graph.Graph.t -> float * float array
+  ?solver:solver -> ?obs:Cobra_obs.Obs.t -> ?tol:float -> ?max_iter:int -> ?seed:int ->
+  ?pool:Cobra_parallel.Pool.t -> Cobra_graph.Graph.t -> float * float array
 (** [second_eigenvector g] returns [(lambda_2, v)] where [lambda_2] is
     the largest non-principal eigenvalue of [P] (signed, not absolute)
     and [v] the corresponding eigenvector of [P] (the normalised-operator
     eigenvector rescaled by [D^{-1/2}]).  [v] drives sweep-cut
-    conductance estimation. *)
+    conductance estimation.  The [Jacobi] solver computes the pair from
+    the dense normalisation ([n <= 1024]). *)
 
 val lazy_second_eigenvalue :
-  ?tol:float -> ?max_iter:int -> ?seed:int -> ?pool:Cobra_parallel.Pool.t ->
-  Cobra_graph.Graph.t -> float
+  ?solver:solver -> ?obs:Cobra_obs.Obs.t -> ?tol:float -> ?max_iter:int -> ?seed:int ->
+  ?pool:Cobra_parallel.Pool.t -> Cobra_graph.Graph.t -> float
 (** [lazy_second_eigenvalue g] is [lambda] of the {e lazy} walk
     [(I + P) / 2], i.e. [(1 + lambda_2(P)) / 2].  The lazy spectrum is
     non-negative, so this is well-defined (< 1) on every connected graph
@@ -59,8 +83,8 @@ val lazy_second_eigenvalue :
     hypercube (remark after Theorem 1.2). *)
 
 val lazy_eigenvalue_gap :
-  ?tol:float -> ?max_iter:int -> ?seed:int -> ?pool:Cobra_parallel.Pool.t ->
-  Cobra_graph.Graph.t -> float
+  ?solver:solver -> ?obs:Cobra_obs.Obs.t -> ?tol:float -> ?max_iter:int -> ?seed:int ->
+  ?pool:Cobra_parallel.Pool.t -> Cobra_graph.Graph.t -> float
 (** [1 - lazy_second_eigenvalue g = (1 - lambda_2(P)) / 2]. *)
 
 val dense_spectrum : Cobra_graph.Graph.t -> float array

@@ -236,6 +236,179 @@ let test_mixing_monotone_in_rounds () =
   check_bool "decreasing" true (d1 >= d5 && d5 >= d20);
   check_bool "converged" true (d20 < 0.01)
 
+(* --- Solver differentials: Lanczos vs oracles, pool determinism --- *)
+
+module Lanczos = Cobra_spectral.Lanczos
+module Pool = Cobra_parallel.Pool
+module Obs = Cobra_obs.Obs
+module Metrics = Cobra_obs.Metrics
+
+let zoo () =
+  [
+    ("hypercube4", Gen.hypercube 4);
+    ("cycle9", Gen.cycle 9);
+    ("cycle8", Gen.cycle 8);
+    ("complete12", Gen.complete 12);
+    ("petersen", Gen.petersen ());
+    ("bipartite5x7", Gen.complete_bipartite 5 7);
+    ("star9", Gen.star 9);
+    ("lollipop5+6", Gen.lollipop ~clique:5 ~tail:6);
+    ("barbell6", Gen.barbell ~clique:6 ~bridge:3);
+    ("regular8_64", Gen.random_regular ~n:64 ~r:8 (Rng.create 11));
+  ]
+
+let test_lanczos_matches_jacobi () =
+  List.iter
+    (fun (name, g) ->
+      let l = Eigen.second_eigenvalue ~solver:Eigen.Lanczos g in
+      let j = Eigen.second_eigenvalue ~solver:Eigen.Jacobi g in
+      check_float name ~eps:1e-8 j l)
+    (zoo ())
+
+let test_lanczos_matches_power () =
+  List.iter
+    (fun (name, g) ->
+      let l = Eigen.second_eigenvalue ~solver:Eigen.Lanczos g in
+      let p = Eigen.second_eigenvalue ~solver:Eigen.Power g in
+      check_float name ~eps:1e-6 p l)
+    [ ("petersen", Gen.petersen ()); ("lollipop", Gen.lollipop ~clique:5 ~tail:4) ]
+
+let test_sym_eig_qr_matches_jacobi () =
+  let k = 13 in
+  let rng = Rng.create 7 in
+  let a = Array.init k (fun _ -> Array.make k 0.0) in
+  for i = 0 to k - 1 do
+    for j = i to k - 1 do
+      let x = Rng.float01 rng -. 0.5 in
+      a.(i).(j) <- x;
+      a.(j).(i) <- x
+    done
+  done;
+  let orig = Array.map Array.copy a in
+  let e_j, _ = Lanczos.sym_eig (Array.map Array.copy a) in
+  let e_q, v_q = Lanczos.sym_eig_qr a in
+  for i = 0 to k - 1 do
+    check_float (Printf.sprintf "eig %d" i) ~eps:1e-10 e_j.(i) e_q.(i)
+  done;
+  (* QR eigenpairs satisfy A v = lambda v to machine precision. *)
+  for j = 0 to k - 1 do
+    for i = 0 to k - 1 do
+      let s = ref 0.0 in
+      for l = 0 to k - 1 do
+        s := !s +. (orig.(i).(l) *. v_q.(l).(j))
+      done;
+      check_float (Printf.sprintf "residual %d,%d" i j) ~eps:1e-12 0.0
+        (!s -. (e_q.(j) *. v_q.(i).(j)))
+    done
+  done
+
+let test_pool_width_invariance () =
+  (* Blocked matvec: above the parallelism threshold (nnz > 2^15), the
+     result must be bit-identical for any pool width. *)
+  let g = Gen.random_regular ~n:8192 ~r:8 (Rng.create 3) in
+  let n = Graph.n g in
+  let op = Matvec.normalized_op g in
+  let x = Array.init n (fun i -> sin (float_of_int i)) in
+  let serial = Array.make n 0.0 in
+  Matvec.apply op x serial;
+  List.iter
+    (fun w ->
+      Pool.with_pool ~num_domains:w (fun pool ->
+          let y = Array.make n 0.0 in
+          Matvec.apply ~pool op x y;
+          check_bool (Printf.sprintf "matvec width %d" w) true (y = serial)))
+    [ 1; 2; 4 ];
+  (* Chunked reductions: vectors longer than the reduction chunk take
+     the per-chunk path; partial sums combine in index order at any
+     width, so pooled dot is bit-identical to serial. *)
+  let m = 70_000 in
+  let a = Array.init m (fun i -> cos (float_of_int i)) in
+  let b = Array.init m (fun i -> sin (float_of_int (i * 7))) in
+  let serial_dot = Matvec.dot a b in
+  List.iter
+    (fun w ->
+      Pool.with_pool ~num_domains:w (fun pool ->
+          check_bool
+            (Printf.sprintf "dot width %d" w)
+            true
+            (Matvec.dot ~pool a b = serial_dot)))
+    [ 1; 2; 4 ];
+  (* And the full eigensolve built on both. *)
+  let lam_serial = Eigen.second_eigenvalue g in
+  Pool.with_pool ~num_domains:2 (fun pool ->
+      check_bool "eigensolve width 2" true (Eigen.second_eigenvalue ~pool g = lam_serial))
+
+let test_not_converged_typed () =
+  let g = Gen.random_regular ~n:64 ~r:8 (Rng.create 4) in
+  match Eigen.second_eigenvalue_r ~max_iter:2 g with
+  | Ok lam -> Alcotest.failf "expected Error, got Ok %g" lam
+  | Error nc ->
+      check_bool "best clamped" true (nc.Eigen.best >= 0.0 && nc.Eigen.best <= 1.0);
+      check_bool "matvecs bounded" true (nc.Eigen.matvecs >= 1)
+
+let test_obs_solver_counters () =
+  let obs = Obs.create () in
+  let g = Gen.petersen () in
+  ignore (Eigen.second_eigenvalue ~obs g);
+  let snap = Metrics.snapshot (Obs.metrics obs) in
+  let counter name =
+    match List.assoc_opt name snap with
+    | Some (Metrics.Counter_v c) -> c
+    | _ -> Alcotest.failf "missing counter %s" name
+  in
+  check_bool "one solve" true (counter "spectral/solves_lanczos" = 1);
+  check_bool "matvecs counted" true (counter "spectral/matvecs" > 0);
+  let obs2 = Obs.create () in
+  ignore (Cobra_core.Walk_theory.all_hitting_times ~obs:obs2 g);
+  let snap2 = Metrics.snapshot (Obs.metrics obs2) in
+  (match List.assoc_opt "walk/cg_solves" snap2 with
+  | Some (Metrics.Counter_v c) -> check_bool "one cg solve per target" true (c = Graph.n g)
+  | _ -> Alcotest.fail "missing walk/cg_solves")
+
+let test_cheb_matches_exact_evolution () =
+  let g = Gen.lollipop ~clique:4 ~tail:5 in
+  List.iter
+    (fun rounds ->
+      let exact = Mixing.walk_distribution ~lazy_:true ~exact:true g ~start:0 ~rounds in
+      let cheb = Mixing.walk_distribution ~lazy_:true g ~start:0 ~rounds in
+      check_float
+        (Printf.sprintf "tv at t=%d" rounds)
+        ~eps:1e-8 0.0
+        (Mixing.total_variation exact cheb))
+    [ 70; 200 ]
+
+let test_mixing_time_from_bisection () =
+  let g = Gen.petersen () in
+  List.iter
+    (fun start ->
+      match Mixing.mixing_time_from ~lazy_:true g ~start with
+      | None -> Alcotest.fail "lazy walk on petersen must mix"
+      | Some t ->
+          check_bool "crossed at t" true
+            (Mixing.distance_to_stationarity ~lazy_:true g ~start ~rounds:t <= 0.25);
+          if t > 0 then
+            check_bool "not crossed at t-1" true
+              (Mixing.distance_to_stationarity ~lazy_:true g ~start ~rounds:(t - 1) > 0.25))
+    [ 0; 3; 9 ]
+
+let test_cg_matches_dense_oracle () =
+  let module WT = Cobra_core.Walk_theory in
+  List.iter
+    (fun (name, g) ->
+      let dense = WT.all_hitting_times_dense g in
+      let cg = WT.all_hitting_times g in
+      let n = Graph.n g in
+      for u = 0 to n - 1 do
+        for v = 0 to n - 1 do
+          check_float (Printf.sprintf "%s H(%d,%d)" name u v) ~eps:1e-5 dense.(u).(v) cg.(u).(v)
+        done
+      done)
+    [
+      ("petersen", Gen.petersen ());
+      ("lollipop4+5", Gen.lollipop ~clique:4 ~tail:5);
+      ("cycle11", Gen.cycle 11);
+    ]
+
 let () =
   Alcotest.run "spectral"
     [
@@ -275,5 +448,17 @@ let () =
           Alcotest.test_case "bipartite never (plain)" `Quick test_mixing_bipartite_never;
           Alcotest.test_case "spectral relation" `Quick test_mixing_spectral_relation;
           Alcotest.test_case "monotone decay" `Quick test_mixing_monotone_in_rounds;
+          Alcotest.test_case "chebyshev = exact evolution" `Quick test_cheb_matches_exact_evolution;
+          Alcotest.test_case "mixing_time_from bisection" `Quick test_mixing_time_from_bisection;
+        ] );
+      ( "solvers",
+        [
+          Alcotest.test_case "lanczos = jacobi on zoo" `Quick test_lanczos_matches_jacobi;
+          Alcotest.test_case "lanczos = power" `Quick test_lanczos_matches_power;
+          Alcotest.test_case "sym_eig_qr = jacobi" `Quick test_sym_eig_qr_matches_jacobi;
+          Alcotest.test_case "pool-width invariance" `Quick test_pool_width_invariance;
+          Alcotest.test_case "typed not-converged" `Quick test_not_converged_typed;
+          Alcotest.test_case "obs solver counters" `Quick test_obs_solver_counters;
+          Alcotest.test_case "cg = dense oracle" `Quick test_cg_matches_dense_oracle;
         ] );
     ]
