@@ -390,17 +390,120 @@ let run_spectral ~quick =
   List.iter (fun r -> Printf.printf "%-50s %12.2f ms\n" r.sp_name r.sp_ms) rows;
   rows
 
+(* --- Part 0.9: web-scale build and ingest throughput ---
+
+   Single-shot wall-clock rows for the graph-construction layer: the
+   counting-sort Builder against the tuple-array path it replaces, the
+   power-law generators, and the streaming SNAP ingester reading back a
+   file it just wrote.  Like the spectral rows these are deterministic
+   single solves, so minimum-over-reps wall clock is the right measure
+   and bechamel's sampling is not.  Rows carry (kernel, family, n, m) so
+   downstream tooling can key on structure rather than display names. *)
+type ingest_row = {
+  ig_name : string;
+  ig_kernel : string;
+  ig_family : string;
+  ig_n : int;
+  ig_m : int;
+  ig_ms : float; (* ms per build/ingest *)
+}
+
+let ingest_rows ~quick =
+  let time_ms ~reps f =
+    ignore (Sys.opaque_identity (f ()));
+    let best = ref Float.infinity in
+    for _ = 1 to reps do
+      let timer = Cobra_obs.Timer.start () in
+      ignore (Sys.opaque_identity (f ()));
+      best := Float.min !best (Cobra_obs.Timer.elapsed_s timer)
+    done;
+    !best *. 1e3
+  in
+  let n = if quick then 50_000 else 400_000 in
+  let reps = if quick then 3 else 2 in
+  let ba = Cobra_graph.Gen_extra.barabasi_albert ~n ~m:8 (Rng.create 21) in
+  let edge_array = Array.of_list (Cobra_graph.Graph.edges ba) in
+  let m = Array.length edge_array in
+  let row name kernel family ~m ~ms =
+    { ig_name = name; ig_kernel = kernel; ig_family = family; ig_n = n; ig_m = m; ig_ms = ms }
+  in
+  let builder_row =
+    row
+      (Printf.sprintf "ingest: builder csr n=%d m=%d" n m)
+      "builder_finish" "ba" ~m
+      ~ms:
+        (time_ms ~reps (fun () ->
+             let b = Cobra_graph.Builder.create ~n ~edges_hint:m () in
+             Array.iter (fun (u, v) -> Cobra_graph.Builder.add_edge b u v) edge_array;
+             Cobra_graph.Builder.finish b))
+  in
+  let tuple_row =
+    row
+      (Printf.sprintf "ingest: of_edge_array n=%d m=%d" n m)
+      "of_edge_array" "ba" ~m
+      ~ms:(time_ms ~reps (fun () -> Cobra_graph.Graph.of_edge_array ~n edge_array))
+  in
+  let gen_ba_row =
+    row
+      (Printf.sprintf "ingest: generate ba m=8 n=%d" n)
+      "generate_ba" "ba" ~m
+      ~ms:(time_ms ~reps (fun () -> Cobra_graph.Gen_extra.barabasi_albert ~n ~m:8 (Rng.create 22)))
+  in
+  let cl = Cobra_graph.Chung_lu.power_law ~n ~exponent:2.5 (Rng.create 23) in
+  let gen_cl_row =
+    row
+      (Printf.sprintf "ingest: generate chunglu 2.5 n=%d" n)
+      "generate_chunglu" "chunglu" ~m:(Cobra_graph.Graph.m cl)
+      ~ms:
+        (time_ms ~reps (fun () ->
+             Cobra_graph.Chung_lu.power_law ~n ~exponent:2.5 (Rng.create 23)))
+  in
+  let stream_row =
+    (* Round-trip through a real file so the row measures the chunked
+       line parser end to end, including channel reads. *)
+    let path = Filename.temp_file "cobra_bench_ingest" ".snap" in
+    Fun.protect
+      ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+      (fun () ->
+        let oc = open_out path in
+        Fun.protect
+          ~finally:(fun () -> close_out oc)
+          (fun () -> output_string oc (Cobra_graph.Graph_io.to_snap ba));
+        row
+          (Printf.sprintf "ingest: read_stream snap n=%d m=%d" n m)
+          "read_stream" "ba" ~m
+          ~ms:
+            (time_ms ~reps (fun () ->
+                 let ic = open_in path in
+                 Fun.protect
+                   ~finally:(fun () -> close_in ic)
+                   (fun () -> Cobra_graph.Graph_io.read_stream ic))))
+  in
+  [ builder_row; tuple_row; gen_ba_row; gen_cl_row; stream_row ]
+
+let run_ingest ~quick =
+  let rows = ingest_rows ~quick in
+  Printf.printf "\n%-50s %15s\n" "build / ingest throughput" "time";
+  Printf.printf "%s\n" (String.make 66 '-');
+  List.iter
+    (fun r ->
+      Printf.printf "%-50s %9.2f ms (%5.1f Medge/s)\n" r.ig_name r.ig_ms
+        (if r.ig_ms > 0.0 then float_of_int r.ig_m /. (r.ig_ms /. 1e3) /. 1e6 else 0.0))
+    rows;
+  rows
+
 (* Bench history sink: name -> ns/run, machine-readable, so successive
    runs of `dune exec bench/main.exe` leave a comparable trajectory. *)
 let bench_json = "BENCH_cobra.json"
 
-let write_bench_json rows ~scaling ~spectral =
+let write_bench_json rows ~scaling ~spectral ~ingest =
   let entries =
     List.filter_map
       (fun (name, t) -> if Float.is_nan t then None else Some (name, Cobra_obs.Json.Float t))
       (rows
       @ List.map (fun r -> (r.sc_name, r.sc_ns)) scaling
-      @ List.map (fun r -> (r.sp_name, r.sp_ms *. 1e6)) spectral)
+      @ List.map (fun r -> (r.sp_name, r.sp_ms *. 1e6)) spectral
+      @ List.map (fun r -> (r.ig_name, r.ig_ms *. 1e6)) ingest)
   in
   (* The scaling rows are duplicated under "scaling" with their metadata
      as structured fields; the CI bench gate (bench/gate.ml) reads only
@@ -433,6 +536,20 @@ let write_bench_json rows ~scaling ~spectral =
           ])
       spectral
   in
+  (* And the build/ingest rows, keyed by (kernel, family, n, m). *)
+  let ingest_entries =
+    List.map
+      (fun r ->
+        Cobra_obs.Json.Obj
+          [
+            ("kernel", Cobra_obs.Json.String r.ig_kernel);
+            ("family", Cobra_obs.Json.String r.ig_family);
+            ("n", Cobra_obs.Json.Int r.ig_n);
+            ("m", Cobra_obs.Json.Int r.ig_m);
+            ("ms_per_run", Cobra_obs.Json.Float r.ig_ms);
+          ])
+      ingest
+  in
   let doc =
     Cobra_obs.Json.Obj
       [
@@ -443,6 +560,7 @@ let write_bench_json rows ~scaling ~spectral =
         ("benchmarks", Cobra_obs.Json.Obj entries);
         ("scaling", Cobra_obs.Json.List scaling_entries);
         ("spectral", Cobra_obs.Json.List spectral_entries);
+        ("ingest", Cobra_obs.Json.List ingest_entries);
       ]
   in
   let oc = open_out bench_json in
@@ -492,8 +610,9 @@ let run_benchmarks ~quick () =
       Printf.printf "%-50s %15s\n" name pretty)
     rows;
   let spectral = run_spectral ~quick in
+  let ingest = run_ingest ~quick in
   let scaling = run_scaling ~quick in
-  write_bench_json rows ~scaling ~spectral
+  write_bench_json rows ~scaling ~spectral ~ingest
 
 let run_tables pool =
   print_newline ();

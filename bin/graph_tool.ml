@@ -1,10 +1,13 @@
-(* cobra-graph-tool: generate, inspect and export the graph families.
+(* cobra-graph-tool: generate, inspect, ingest and export graphs.
 
    Examples:
      cobra-graph-tool gen --family hypercube -n 256 -o cube.graph
      cobra-graph-tool info cube.graph
      cobra-graph-tool info --family lollipop -n 100 --spectral
-     cobra-graph-tool dot --family petersen -n 10 *)
+     cobra-graph-tool dot --family petersen -n 10
+     cobra-graph-tool generate --family chunglu:2.5 -n 100000 --format snap -o web.snap
+     cat web.snap | cobra-graph-tool ingest -
+     cobra-graph-tool ingest soc-LiveJournal.txt --remap -o lj.graph *)
 
 module Graph = Cobra_graph.Graph
 module Gen = Cobra_graph.Gen
@@ -107,6 +110,143 @@ let dot_cmd =
     (Cmd.info "dot" ~doc:"Render a graph in Graphviz DOT format")
     Term.(const run $ file_pos $ family_arg $ n_arg $ seed_arg $ output_arg)
 
+(* --- Degree-distribution stats shared by ingest/generate ---
+
+   Everything printed here is a pure function of the graph, so two
+   ingestion paths that build the same CSR print byte-identical blocks —
+   the property the CI parity check diffs. *)
+let print_degree_stats ppf g =
+  let n = Graph.n g in
+  Format.fprintf ppf "n=%d m=%d@." n (Graph.m g);
+  Format.fprintf ppf "degree: min=%d max=%d avg=%.4f@." (Graph.min_degree g)
+    (Graph.max_degree g) (Props.average_degree g);
+  if n > 0 then begin
+    let degs = Array.init n (Graph.degree g) in
+    Array.sort Int.compare degs;
+    let pct p = degs.(min (n - 1) (int_of_float (float_of_int n *. p))) in
+    Format.fprintf ppf "degree percentiles: p50=%d p90=%d p99=%d@." (pct 0.5) (pct 0.9)
+      (pct 0.99);
+    (match Props.degree_tail_exponent g with
+    | Some gamma -> Format.fprintf ppf "tail exponent (CCDF fit): %.3f@." gamma
+    | None -> Format.fprintf ppf "tail exponent (CCDF fit): n/a@.");
+    let hist = Props.degree_histogram g in
+    if List.length hist <= 12 then begin
+      Format.fprintf ppf "degree histogram:";
+      List.iter (fun (d, c) -> Format.fprintf ppf " %d:%d" d c) hist;
+      Format.fprintf ppf "@."
+    end
+  end;
+  let labels, k = Props.components g in
+  ignore labels;
+  Format.fprintf ppf "components: %d@." k
+
+let input_format_arg =
+  let formats = [ ("snap", `Snap); ("cobra", `Cobra) ] in
+  let doc = "Input format: $(b,snap) (header-less edge list) or $(b,cobra) (native header)." in
+  Arg.(value & opt (enum formats) `Snap & info [ "format" ] ~docv:"FMT" ~doc)
+
+let ingest_pos =
+  let doc = "Edge-list file to ingest; $(b,-) reads standard input (pipes work)." in
+  Arg.(value & pos 0 string "-" & info [] ~docv:"FILE" ~doc)
+
+let remap_arg =
+  let doc = "Renumber sparse/non-contiguous vertex ids densely in first-seen order." in
+  Arg.(value & flag & info [ "remap" ] ~doc)
+
+let strict_arg =
+  let doc = "Fail on self-loop lines instead of dropping them (SNAP input only)." in
+  Arg.(value & flag & info [ "strict" ] ~doc)
+
+let eager_arg =
+  let doc =
+    "Slurp the whole input into memory and parse via of_string (cobra format only) — \
+     the reference path the streaming ingester is checked against."
+  in
+  Arg.(value & flag & info [ "eager" ] ~doc)
+
+let giant_arg =
+  let doc = "Keep only the largest connected component (renumbered densely)." in
+  Arg.(value & flag & info [ "giant" ] ~doc)
+
+let with_input file f =
+  if file = "-" then f stdin
+  else begin
+    let ic = open_in file in
+    Fun.protect ~finally:(fun () -> close_in ic) (fun () -> f ic)
+  end
+
+let ingest_cmd =
+  let run file format remap strict eager giant output =
+    let timer = Cobra_obs.Timer.start () in
+    let g, stats =
+      with_input file (fun ic ->
+          match format with
+          | `Snap ->
+              if eager then begin
+                Printf.eprintf "ingest: --eager applies to --format cobra only\n";
+                exit 2
+              end;
+              let g, s = Graph_io.read_stream_stats ~remap ~drop_self_loops:(not strict) ic in
+              (g, Some s)
+          | `Cobra ->
+              if eager then (Graph_io.of_string (In_channel.input_all ic), None)
+              else (Graph_io.read_channel ic, None))
+    in
+    let g = if giant then Props.largest_component g else g in
+    let elapsed = Cobra_obs.Timer.elapsed_s timer in
+    (* Graph-derived stats to stdout (deterministic, diffable);
+       ingestion accounting and throughput to stderr. *)
+    print_degree_stats Format.std_formatter g;
+    (match stats with
+    | Some s ->
+        Printf.eprintf "ingest: %d edge lines, %d comments, %d self-loops dropped%s\n"
+          s.Graph_io.edge_lines s.Graph_io.comments s.Graph_io.self_loops
+          (if remap then Printf.sprintf ", %d ids remapped" s.Graph_io.remapped_ids else "")
+    | None -> ());
+    Printf.eprintf "ingest: %d edges in %.3fs (%.2f Medges/s)\n" (Graph.m g) elapsed
+      (if elapsed > 0.0 then float_of_int (Graph.m g) /. elapsed /. 1e6 else 0.0);
+    match output with
+    | None -> ()
+    | Some path ->
+        Graph_io.write_file path g;
+        Printf.eprintf "wrote %s\n" path
+  in
+  Cmd.v
+    (Cmd.info "ingest"
+       ~doc:"Stream an edge list (file or pipe) into a CSR graph and report stats")
+    Term.(
+      const run $ ingest_pos $ input_format_arg $ remap_arg $ strict_arg $ eager_arg
+      $ giant_arg $ output_arg)
+
+let output_format_arg =
+  let formats = [ ("cobra", `Cobra); ("snap", `Snap); ("dot", `Dot) ] in
+  let doc = "Output format: $(b,cobra) (native), $(b,snap) (header-less) or $(b,dot)." in
+  Arg.(value & opt (enum formats) `Cobra & info [ "format" ] ~docv:"FMT" ~doc)
+
+let stats_arg =
+  let doc = "Also print degree-distribution statistics (to stderr)." in
+  Arg.(value & flag & info [ "stats" ] ~doc)
+
+let generate_cmd =
+  let run family n seed format stats output =
+    let g = Gen.by_name family ~n (Cobra_prng.Rng.create seed) in
+    let text =
+      match format with
+      | `Cobra -> Graph_io.to_string g
+      | `Snap -> Graph_io.to_snap ~comment:(Printf.sprintf "%s n=%d seed=%d" family n seed) g
+      | `Dot -> Graph_io.to_dot g
+    in
+    emit output text;
+    if stats then print_degree_stats Format.err_formatter g
+  in
+  Cmd.v
+    (Cmd.info "generate"
+       ~doc:
+         "Generate a graph family (including parameterized chunglu:/config:/ba: power-law \
+          families) in cobra, snap or dot format")
+    Term.(
+      const run $ family_arg $ n_arg $ seed_arg $ output_format_arg $ stats_arg $ output_arg)
+
 let solver_arg =
   let solvers = [ ("lanczos", Eigen.Lanczos); ("power", Eigen.Power); ("jacobi", Eigen.Jacobi) ] in
   let doc = "Eigensolver: $(b,lanczos) (default), $(b,power) or $(b,jacobi) (dense, n <= 1024)." in
@@ -171,6 +311,6 @@ let main_cmd =
   let doc = "Generate and inspect the graph families used by the COBRA experiments" in
   Cmd.group
     (Cmd.info "cobra-graph-tool" ~version:"1.0.0" ~doc)
-    [ gen_cmd; info_cmd; dot_cmd; spectral_cmd ]
+    [ gen_cmd; info_cmd; dot_cmd; spectral_cmd; ingest_cmd; generate_cmd ]
 
 let () = exit (Cmd.eval main_cmd)

@@ -1,0 +1,129 @@
+(* Incremental CSR construction by counting sort.
+
+   [Graph.of_edge_array] peaks at roughly eight words per edge: the
+   caller's tuple list (three words per cons cell plus a three-word
+   tuple block), the packed int array it is copied into, and the final
+   adjacency array all coexist.  The builder keeps one growable int
+   array with each edge packed into a single word, so the peak while
+   [finish] runs is ~3 words/edge: the packed buffer (1), the adjacency
+   array being scattered into (2), plus O(n) counters.  That is the
+   difference between fitting a 10^9-edge graph in tens of GB and not
+   fitting it at all.
+
+   [finish] counting-sorts by endpoint: one pass counts degrees, a
+   prefix sum turns them into offsets, one pass scatters both
+   directions, then each slice is sorted and deduplicated in place
+   (write pointer never overtakes the read position because compaction
+   only ever shrinks prefixes).  The result is bit-identical to
+   [Graph.of_edge_array] on the same multiset of edges. *)
+
+(* Edges are packed as [(u lsl 31) lor v], so vertex ids must fit in 31
+   bits.  2^31 vertices at 63-bit ints is far beyond what a single
+   address space holds anyway. *)
+let max_id = (1 lsl 31) - 1
+
+type t = {
+  mutable n : int;
+  fixed_n : bool;
+  mutable packed : int array;
+  mutable count : int;
+  mutable finished : bool;
+}
+
+let create ?n ?(edges_hint = 1024) () =
+  let n, fixed_n =
+    match n with
+    | Some n ->
+        if n < 0 then invalid_arg "Builder.create: negative n";
+        if n - 1 > max_id then invalid_arg "Builder.create: vertex ids must be < 2^31";
+        (n, true)
+    | None -> (0, false)
+  in
+  { n; fixed_n; packed = Array.make (max 16 edges_hint) 0; count = 0; finished = false }
+
+let vertex_count t = t.n
+let edge_count t = t.count
+
+let[@inline never] grow t =
+  let bigger = Array.make (2 * Array.length t.packed) 0 in
+  Array.blit t.packed 0 bigger 0 t.count;
+  t.packed <- bigger
+
+let add_edge t u v =
+  if t.finished then invalid_arg "Builder.add_edge: builder already finished";
+  if u = v then invalid_arg (Printf.sprintf "Builder.add_edge: self-loop at %d" u);
+  if t.fixed_n then begin
+    if u < 0 || u >= t.n || v < 0 || v >= t.n then
+      invalid_arg
+        (Printf.sprintf "Builder.add_edge: edge (%d, %d) out of range [0, %d)" u v t.n)
+  end
+  else begin
+    if u < 0 || v < 0 then
+      invalid_arg (Printf.sprintf "Builder.add_edge: negative endpoint in (%d, %d)" u v);
+    if u > max_id || v > max_id then
+      invalid_arg "Builder.add_edge: vertex ids must be < 2^31";
+    let hi = 1 + if u > v then u else v in
+    if hi > t.n then t.n <- hi
+  end;
+  if t.count = Array.length t.packed then grow t;
+  Array.unsafe_set t.packed t.count ((u lsl 31) lor v);
+  t.count <- t.count + 1
+
+let finish t =
+  if t.finished then invalid_arg "Builder.finish: builder already finished";
+  t.finished <- true;
+  let n = t.n and raw = t.count in
+  let packed = t.packed in
+  t.packed <- [||];
+  let deg = Array.make (max n 1) 0 in
+  for k = 0 to raw - 1 do
+    let p = Array.unsafe_get packed k in
+    let u = p lsr 31 and v = p land max_id in
+    deg.(u) <- deg.(u) + 1;
+    deg.(v) <- deg.(v) + 1
+  done;
+  let offsets = Array.make (n + 1) 0 in
+  for u = 0 to n - 1 do
+    offsets.(u + 1) <- offsets.(u) + deg.(u)
+  done;
+  let adj = Array.make (2 * raw) 0 in
+  (* Reuse [deg] as the scatter cursor to avoid a second O(n) array. *)
+  Array.blit offsets 0 deg 0 n;
+  for k = 0 to raw - 1 do
+    let p = Array.unsafe_get packed k in
+    let u = p lsr 31 and v = p land max_id in
+    Array.unsafe_set adj deg.(u) v;
+    deg.(u) <- deg.(u) + 1;
+    Array.unsafe_set adj deg.(v) u;
+    deg.(v) <- deg.(v) + 1
+  done;
+  (* Sort each slice and compact out duplicate parallel edges in place:
+     the write pointer trails the slice base because earlier slices can
+     only have shrunk. *)
+  let write = ref 0 in
+  for u = 0 to n - 1 do
+    let lo = offsets.(u) and hi = offsets.(u + 1) in
+    let len = hi - lo in
+    offsets.(u) <- !write;
+    if len > 0 then begin
+      let slice = Array.sub adj lo len in
+      Array.sort Int.compare slice;
+      adj.(!write) <- slice.(0);
+      incr write;
+      for i = 1 to len - 1 do
+        if slice.(i) <> slice.(i - 1) then begin
+          adj.(!write) <- slice.(i);
+          incr write
+        end
+      done
+    end
+  done;
+  let total = !write in
+  offsets.(n) <- total;
+  let adj = if total = Array.length adj then adj else Array.sub adj 0 total in
+  Graph.unsafe_of_csr ~n ~m:(total / 2) ~offsets ~adj
+
+let of_edge_seq ?n seq =
+  let b = create ?n () in
+  Seq.iter (fun (u, v) -> add_edge b u v) seq;
+  finish b

@@ -1,0 +1,142 @@
+module Rng = Cobra_prng.Rng
+
+(* Chung–Lu expected-degree random graphs and the (erased) configuration
+   model — the heavy-tailed regime where Theorem 1.1's t_mix·dmax²·log n
+   term actually dominates.
+
+   The generator is the Miller–Hagberg skip algorithm ("Efficient
+   generation of networks with given expected degrees", WAW 2011): with
+   the weights sorted in decreasing order, the inner loop over j > i
+   jumps geometrically under the current upper-bound probability p and
+   accepts each landing with q/p, where q = min(1, w_i w_j / S) only
+   shrinks as j advances.  Expected cost is O(n + m) rather than the
+   O(n²) of testing every pair. *)
+
+let sum_weights weights = Array.fold_left ( +. ) 0.0 weights
+
+let validate_weights fn weights =
+  Array.iter
+    (fun w ->
+      if not (Float.is_finite w) || w < 0.0 then
+        invalid_arg (fn ^ ": weights must be finite and non-negative"))
+    weights
+
+let power_law_weights ~n ~exponent ?(wmin = 1.0) ?wmax () =
+  if n < 1 then invalid_arg "Chung_lu.power_law_weights: n must be >= 1";
+  if not (exponent > 1.0) then
+    invalid_arg "Chung_lu.power_law_weights: exponent must be > 1";
+  if not (wmin > 0.0) then invalid_arg "Chung_lu.power_law_weights: wmin must be > 0";
+  (* w_i = wmin (n / (i+1))^{1/(γ-1)} gives P(W > w) ∝ w^{-(γ-1)}, i.e.
+     a degree distribution with tail exponent γ. *)
+  let inv = 1.0 /. (exponent -. 1.0) in
+  let cap = match wmax with Some w -> w | None -> Float.infinity in
+  Array.init n (fun i ->
+      Float.min cap (wmin *. ((float_of_int n /. float_of_int (i + 1)) ** inv)))
+
+let chung_lu ~weights rng =
+  validate_weights "Chung_lu.chung_lu" weights;
+  let n = Array.length weights in
+  if n = 0 then invalid_arg "Chung_lu.chung_lu: empty weight array";
+  (* Decreasing-weight order with index tie-break keeps the traversal —
+     and hence the sampled graph for a fixed seed — deterministic. *)
+  let order = Array.init n Fun.id in
+  Array.sort
+    (fun a b ->
+      match Float.compare weights.(b) weights.(a) with
+      | 0 -> Int.compare a b
+      | c -> c)
+    order;
+  let w k = weights.(order.(k)) in
+  let s = sum_weights weights in
+  let builder = Builder.create ~n () in
+  if s > 0.0 then
+    for i = 0 to n - 2 do
+      let wi = w i in
+      if wi > 0.0 then begin
+        let j = ref (i + 1) in
+        let p = ref (Float.min 1.0 (wi *. w !j /. s)) in
+        while !j < n && !p > 0.0 do
+          if !p < 1.0 then begin
+            (* Geometric skip: number of consecutive rejections under
+               the current upper bound p. *)
+            let r = Rng.float01 rng in
+            j := !j + int_of_float (floor (log (1.0 -. r) /. log (1.0 -. !p)))
+          end;
+          if !j < n then begin
+            let q = Float.min 1.0 (wi *. w !j /. s) in
+            (* Accept with q/p (q <= p since weights are sorted);
+               multiplying through by p avoids the division. *)
+            if Rng.float01 rng *. !p < q then Builder.add_edge builder order.(i) order.(!j);
+            p := q;
+            incr j
+          end
+        done
+      end
+    done;
+  Builder.finish builder
+
+let power_law ~n ~exponent ?(avg_degree = 8.0) rng =
+  if not (avg_degree > 0.0) then invalid_arg "Chung_lu.power_law: avg_degree must be > 0";
+  let weights = power_law_weights ~n ~exponent () in
+  let mean = sum_weights weights /. float_of_int n in
+  let scale = avg_degree /. mean in
+  (* Cap at sqrt(S) so no single pair saturates min(1, w_i w_j / S) by
+     orders of magnitude — beyond that cap the extra weight is silently
+     truncated anyway and only distorts the realised mean. *)
+  let cap = sqrt (avg_degree *. float_of_int n) in
+  let weights = Array.map (fun w -> Float.min cap (w *. scale)) weights in
+  chung_lu ~weights rng
+
+let power_law_degrees ~n ~exponent ?(dmin = 1) ?dmax rng =
+  if n < 1 then invalid_arg "Chung_lu.power_law_degrees: n must be >= 1";
+  if not (exponent > 1.0) then
+    invalid_arg "Chung_lu.power_law_degrees: exponent must be > 1";
+  if dmin < 1 then invalid_arg "Chung_lu.power_law_degrees: dmin must be >= 1";
+  let dmax = match dmax with Some d -> d | None -> max dmin (n - 1) in
+  if dmax < dmin then invalid_arg "Chung_lu.power_law_degrees: dmax must be >= dmin";
+  let inv = 1.0 /. (exponent -. 1.0) in
+  (* Inverse-transform sampling of the Pareto tail, floored to ints:
+     P(D >= d) ≈ (dmin / d)^{γ-1}. *)
+  let degrees =
+    Array.init n (fun _ ->
+        let u = 1.0 -. Rng.float01 rng in
+        (* u in (0, 1] *)
+        min dmax (int_of_float (float_of_int dmin *. (u ** -.inv))))
+  in
+  (* The configuration model needs an even stub count; nudge one entry. *)
+  if Array.fold_left ( + ) 0 degrees land 1 = 1 then
+    degrees.(0) <- (if degrees.(0) < dmax then degrees.(0) + 1 else degrees.(0) - 1);
+  degrees
+
+let configuration_model ~degrees rng =
+  let n = Array.length degrees in
+  if n = 0 then invalid_arg "Chung_lu.configuration_model: empty degree array";
+  let total = ref 0 in
+  Array.iter
+    (fun d ->
+      if d < 0 || d > n - 1 then
+        invalid_arg "Chung_lu.configuration_model: degrees must be in [0, n-1]";
+      total := !total + d)
+    degrees;
+  if !total land 1 = 1 then
+    invalid_arg "Chung_lu.configuration_model: degree sum must be even";
+  (* One stub per degree unit; a uniform perfect matching on the stubs
+     is a uniform shuffle paired off consecutively.  Self-loops and
+     parallel edges are erased (the "erased configuration model"), so
+     realised degrees can fall slightly short of the prescription. *)
+  let stubs = Array.make (max 1 !total) 0 in
+  let k = ref 0 in
+  Array.iteri
+    (fun v d ->
+      for _ = 1 to d do
+        stubs.(!k) <- v;
+        incr k
+      done)
+    degrees;
+  Rng.shuffle_in_place rng stubs;
+  let builder = Builder.create ~n ~edges_hint:(max 16 (!total / 2)) () in
+  for i = 0 to (!total / 2) - 1 do
+    let u = stubs.(2 * i) and v = stubs.((2 * i) + 1) in
+    if u <> v then Builder.add_edge builder u v
+  done;
+  Builder.finish builder

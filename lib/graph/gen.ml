@@ -293,7 +293,50 @@ let int_root n k =
   let s = max 2 s in
   if abs (powk (s + 1) - n) < abs (powk s - n) then s + 1 else s
 
-let by_name name ~n rng =
+(* Parameterized family strings: "family:param[:param]".  These carry
+   their model parameters in the name so experiment sweeps and the
+   server's job keys can select e.g. "chunglu:2.5" without a second
+   configuration channel. *)
+
+let float_param ~family s =
+  match float_of_string_opt s with
+  | Some x when Float.is_finite x -> x
+  | _ -> invalid_arg (Printf.sprintf "Gen.by_name: bad parameter %S for %s" s family)
+
+let int_param ~family s =
+  match int_of_string_opt s with
+  | Some x -> x
+  | None -> invalid_arg (Printf.sprintf "Gen.by_name: bad parameter %S for %s" s family)
+
+let by_parameterized_name ~family ~params ~n rng =
+  (* Chung–Lu and configuration-model samples may be disconnected; the
+     experiments only make sense on a connected piece, so the registry
+     hands out the giant component (the realised size is Graph.n of the
+     result, as with the dimension-rounding families). *)
+  let giant = Props.largest_component in
+  match (family, params) with
+  | "chunglu", ([ _ ] | [ _; _ ]) ->
+      let exponent = float_param ~family (List.nth params 0) in
+      let avg_degree =
+        match params with [ _; a ] -> float_param ~family a | _ -> 8.0
+      in
+      giant (Chung_lu.power_law ~n:(max 4 n) ~exponent ~avg_degree rng)
+  | "config", ([ _ ] | [ _; _ ]) ->
+      let exponent = float_param ~family (List.nth params 0) in
+      let dmin = match params with [ _; d ] -> max 1 (int_param ~family d) | _ -> 2 in
+      let n = max 4 n in
+      let degrees = Chung_lu.power_law_degrees ~n ~exponent ~dmin rng in
+      giant (Chung_lu.configuration_model ~degrees rng)
+  | "ba", [ m_str ] ->
+      let m = int_param ~family m_str in
+      if m < 1 then invalid_arg (Printf.sprintf "Gen.by_name: ba needs m >= 1, got %d" m);
+      Gen_extra.barabasi_albert ~n:(max (m + 2) n) ~m rng
+  | _ ->
+      invalid_arg
+        (Printf.sprintf "Gen.by_name: unknown family %S"
+           (String.concat ":" (family :: params)))
+
+let by_name_plain name ~n rng =
   match name with
   | "complete" -> complete (max 2 n)
   | "path" -> path (max 2 n)
@@ -348,10 +391,24 @@ let by_name name ~n rng =
   | "regular-16" -> random_regular ~n:(max 17 n) ~r:16 rng
   | other -> invalid_arg (Printf.sprintf "Gen.by_name: unknown family %S" other)
 
+let by_name name ~n rng =
+  match String.index_opt name ':' with
+  | Some cut ->
+      let family = String.sub name 0 cut in
+      let params =
+        String.split_on_char ':' (String.sub name (cut + 1) (String.length name - cut - 1))
+      in
+      by_parameterized_name ~family ~params ~n rng
+  | None -> by_name_plain name ~n rng
+
 let family_names =
   [
     "complete"; "path"; "cycle"; "star"; "wheel"; "binary-tree"; "grid2d"; "grid3d";
     "torus2d"; "torus3d"; "hypercube"; "lollipop"; "barbell"; "ladder"; "petersen";
     "random-tree"; "gnp"; "regular-3"; "regular-4"; "regular-8"; "regular-16";
     "cycle-matching"; "small-world"; "pref-attach"; "ccc"; "broom";
+    (* Parameterized power-law families (any "family:params" spelling is
+       accepted; these are representative instances for CLI listings and
+       the all-family test sweeps). *)
+    "chunglu:2.5"; "config:2.5"; "ba:4";
   ]

@@ -103,7 +103,18 @@ val by_name :
     nearest realisable size (e.g. a square for ["grid2d"], a power of two
     for ["hypercube"]); the realised size is [Graph.n] of the result.
 
-    @raise Invalid_argument on an unknown name. *)
+    Parameterized power-law families carry their model parameters in
+    the name, colon-separated:
+    - ["chunglu:<exponent>[:<avg_degree>]"] — Chung–Lu expected-degree
+      power law ({!Chung_lu.power_law}, average degree default 8),
+      giant component extracted so the result is connected;
+    - ["config:<exponent>[:<dmin>]"] — erased configuration model over
+      {!Chung_lu.power_law_degrees} ([dmin] default 2), giant component
+      extracted;
+    - ["ba:<m>"] — Barabási–Albert preferential attachment with [m]
+      edges per new vertex ({!Gen_extra.barabasi_albert}).
+
+    @raise Invalid_argument on an unknown name or malformed parameter. *)
 
 val family_names : string list
 (** All names accepted by {!by_name}, for CLI listings. *)

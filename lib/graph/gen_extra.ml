@@ -53,15 +53,29 @@ let watts_strogatz ~n ~k ~beta rng =
       add i ((i + j) mod n)
     done
   done;
+  (* A sampled candidate that collides with an existing edge (or is i
+     itself) must be re-drawn, not silently abandoned — abandoning it
+     under-rewires relative to the standard model, and the shortfall
+     grows with beta and k.  Retries are bounded: if every draw in the
+     budget collides (essentially impossible unless the vertex is
+     adjacent to almost everything), the lattice edge is kept, a
+     residual bias towards the ring that is negligible for k << n. *)
+  let max_candidate_tries = 32 in
   for i = 0 to n - 1 do
     for j = 1 to k / 2 do
       let partner = (i + j) mod n in
       if Rng.bernoulli rng beta && mem i partner then begin
-        let candidate = Rng.int_below rng n in
-        if candidate <> i && not (mem i candidate) then begin
-          remove i partner;
-          add i candidate
-        end
+        let rec rewire tries =
+          if tries > 0 then begin
+            let candidate = Rng.int_below rng n in
+            if candidate <> i && not (mem i candidate) then begin
+              remove i partner;
+              add i candidate
+            end
+            else rewire (tries - 1)
+          end
+        in
+        rewire max_candidate_tries
       end
     done
   done;
@@ -69,36 +83,63 @@ let watts_strogatz ~n ~k ~beta rng =
   Graph.of_edges ~n edges
 
 let barabasi_albert ~n ~m rng =
+  (* m >= n is the one genuinely impossible prescription: every vertex
+     after the seed clique sees at least m + 1 distinct earlier vertices,
+     so with 1 <= m < n each attachment round below always terminates. *)
   if m < 1 || m >= n then invalid_arg "Gen_extra.barabasi_albert: need 1 <= m < n";
-  let edges = ref [] in
-  (* Degree-proportional sampling via the repeated-endpoints trick: keep
-     every edge endpoint in a growing array and sample uniform slots. *)
-  let endpoints = ref [] in
+  (* Degree-proportional sampling via the repeated-endpoints trick: every
+     edge endpoint lives in a growable array (amortised O(1) appends —
+     the old list-rebuild-per-vertex was O(n·m) overall) and a uniform
+     slot is degree-biased for free. *)
+  let total_edges = (m * (m + 1) / 2) + (m * (n - m - 1)) in
+  let endpoints = ref (Array.make (max 16 (2 * total_edges)) 0) in
   let count = ref 0 in
+  let builder = Builder.create ~n ~edges_hint:total_edges () in
+  let push x =
+    if !count = Array.length !endpoints then begin
+      let bigger = Array.make (2 * Array.length !endpoints) 0 in
+      Array.blit !endpoints 0 bigger 0 !count;
+      endpoints := bigger
+    end;
+    !endpoints.(!count) <- x;
+    incr count
+  in
   let add_edge u v =
-    edges := (u, v) :: !edges;
-    endpoints := u :: v :: !endpoints;
-    count := !count + 2
+    Builder.add_edge builder u v;
+    push u;
+    push v
   in
   for u = 0 to m do
     for v = u + 1 to m do
       add_edge u v
     done
   done;
-  let endpoint_arr = ref (Array.of_list !endpoints) in
-  let refresh () = endpoint_arr := Array.of_list !endpoints in
+  let chosen = Array.make m (-1) in
   for v = m + 1 to n - 1 do
-    refresh ();
-    let chosen = Hashtbl.create m in
-    let guard = ref 0 in
-    while Hashtbl.length chosen < m && !guard < 10_000 do
-      incr guard;
-      let target = !endpoint_arr.(Rng.int_below rng (Array.length !endpoint_arr)) in
-      if target <> v then Hashtbl.replace chosen target ()
+    (* Exactly m distinct targets: a draw that repeats an already-chosen
+       target or hits v itself is re-drawn (the old bounded guard gave
+       up and silently attached fewer than m edges on dense prefixes).
+       Termination is sure: at least m + 1 distinct candidates exist and
+       each holds at least one endpoint slot. *)
+    let k = ref 0 in
+    while !k < m do
+      let target = !endpoints.(Rng.int_below rng !count) in
+      if target <> v then begin
+        let dup = ref false in
+        for i = 0 to !k - 1 do
+          if chosen.(i) = target then dup := true
+        done;
+        if not !dup then begin
+          chosen.(!k) <- target;
+          incr k
+        end
+      end
     done;
-    Hashtbl.iter (fun u () -> add_edge v u) chosen
+    for i = 0 to m - 1 do
+      add_edge v chosen.(i)
+    done
   done;
-  Graph.of_edges ~n !edges
+  Builder.finish builder
 
 let cube_connected_cycles d =
   if d < 3 then invalid_arg "Gen_extra.cube_connected_cycles: need d >= 3";

@@ -27,18 +27,28 @@ val cycle_plus_matching : n:int -> Cobra_prng.Rng.t -> Graph.t
 val watts_strogatz : n:int -> k:int -> beta:float -> Cobra_prng.Rng.t -> Graph.t
 (** [watts_strogatz ~n ~k ~beta rng]: ring lattice where each vertex is
     joined to its [k/2] nearest neighbours per side, then each edge is
-    rewired to a uniform random endpoint with probability [beta]
-    (duplicate/self rewirings are skipped, so the graph stays simple but
-    may lose a few edges at large [beta]).
+    rewired to a uniform random endpoint with probability [beta].  A
+    candidate that would create a self-loop or duplicate an existing
+    edge is re-drawn (up to 32 times) rather than cancelling the
+    rewire, so the rewired fraction tracks [beta] as in the standard
+    model; if every draw in the budget collides the lattice edge is
+    kept — a residual bias towards the ring that is negligible for
+    [k << n].  Edge count is always exactly [n * k / 2].
     @raise Invalid_argument unless [k] is even, [2 <= k < n], and
     [beta] is in [[0, 1]]. *)
 
 val barabasi_albert : n:int -> m:int -> Cobra_prng.Rng.t -> Graph.t
 (** [barabasi_albert ~n ~m rng]: preferential attachment; starts from a
-    clique on [m + 1] vertices, then each new vertex attaches to [m]
-    distinct existing vertices chosen proportionally to degree.
-    Produces a connected heavy-tailed graph.
-    @raise Invalid_argument unless [1 <= m < n]. *)
+    clique on [m + 1] vertices, then each new vertex attaches to
+    exactly [m] distinct existing vertices chosen proportionally to
+    degree (collision draws are retried, never dropped), giving
+    [m(m+1)/2 + m(n-m-1)] edges in total.  Runs in expected O(n·m) via
+    an amortised growable endpoint array, so [n] in the hundreds of
+    thousands builds in seconds.  Produces a connected heavy-tailed
+    graph with tail exponent 3.
+    @raise Invalid_argument unless [1 <= m < n] (the one genuinely
+    impossible prescription — every later vertex sees at least [m + 1]
+    distinct attachment candidates). *)
 
 val cube_connected_cycles : int -> Graph.t
 (** [cube_connected_cycles d] is CCC(d): each hypercube vertex is blown

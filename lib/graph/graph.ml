@@ -77,6 +77,17 @@ let of_edge_array ~n edges =
 
 let of_edges ~n edges = of_edge_array ~n (Array.of_list edges)
 
+(* Trusted constructor for Builder.finish: the caller guarantees the CSR
+   invariants (offsets monotone with offsets.(n) = 2m, every slice sorted
+   and duplicate-free, edges symmetric, no self-loops).  Only the cheap
+   length consistency is re-checked here — re-validating the structure
+   would cost the O(m) pass the builder exists to avoid. *)
+let unsafe_of_csr ~n ~m ~offsets ~adj =
+  if n < 0 || m < 0 || Array.length offsets <> n + 1 || offsets.(n) <> 2 * m
+     || Array.length adj <> 2 * m
+  then invalid_arg "Graph.unsafe_of_csr: inconsistent CSR arrays";
+  { n; m; offsets; adj }
+
 let degree t u =
   check_vertex t u;
   t.offsets.(u + 1) - t.offsets.(u)

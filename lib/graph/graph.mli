@@ -22,6 +22,17 @@ val of_edges : n:int -> (int * int) list -> t
 val of_edge_array : n:int -> (int * int) array -> t
 (** Array analogue of {!of_edges}. *)
 
+val unsafe_of_csr : n:int -> m:int -> offsets:int array -> adj:int array -> t
+(** [unsafe_of_csr ~n ~m ~offsets ~adj] wraps pre-built CSR arrays
+    without structural validation — the constructor behind
+    {!Builder.finish}, which establishes the invariants itself.  The
+    caller must guarantee: [offsets] has length [n + 1], is monotone
+    with [offsets.(n) = 2 * m]; [adj] has length [2 * m]; every slice is
+    sorted and duplicate-free; edges are symmetric with no self-loops.
+    Violating these is undefined behaviour everywhere else in the
+    library.  Only length consistency is checked.
+    @raise Invalid_argument on inconsistent array lengths. *)
+
 val n : t -> int
 (** Number of vertices. *)
 

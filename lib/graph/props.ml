@@ -111,3 +111,67 @@ let degree_histogram g =
 
 let average_degree g =
   if Graph.n g = 0 then 0.0 else 2.0 *. float_of_int (Graph.m g) /. float_of_int (Graph.n g)
+
+let largest_component g =
+  let n = Graph.n g in
+  if n = 0 || is_connected g then g
+  else begin
+    let labels, k = components g in
+    let sizes = Array.make k 0 in
+    Array.iter (fun l -> sizes.(l) <- sizes.(l) + 1) labels;
+    (* Smallest label wins ties, so the extraction is deterministic. *)
+    let best = ref 0 in
+    for l = 1 to k - 1 do
+      if sizes.(l) > sizes.(!best) then best := l
+    done;
+    let best = !best in
+    (* Dense renumbering in increasing original vertex order. *)
+    let remap = Array.make n (-1) in
+    let next = ref 0 in
+    for v = 0 to n - 1 do
+      if labels.(v) = best then begin
+        remap.(v) <- !next;
+        incr next
+      end
+    done;
+    let b = Builder.create ~n:sizes.(best) ~edges_hint:(Graph.m g) () in
+    Graph.iter_edges g (fun u v ->
+        if labels.(u) = best then Builder.add_edge b remap.(u) remap.(v));
+    Builder.finish b
+  end
+
+let degree_tail_exponent ?(dmin = 2) g =
+  let n = Graph.n g in
+  (* CCDF log-log regression: for a tail exponent gamma,
+     log P(D >= d) = -(gamma - 1) log d + c, and the CCDF is much less
+     noisy than the raw histogram.  One (log d, log ccdf) point per
+     distinct degree >= dmin; at least three points required. *)
+  let hist = degree_histogram g in
+  let above = List.filter (fun (d, _) -> d >= dmin) hist in
+  if n = 0 || List.length above < 3 then None
+  else begin
+    let tail_total = List.fold_left (fun acc (_, c) -> acc + c) 0 above in
+    let pts =
+      (* Walk distinct degrees in increasing order, maintaining the
+         count of vertices with degree >= d. *)
+      let remaining = ref tail_total in
+      List.map
+        (fun (d, c) ->
+          let ccdf = float_of_int !remaining /. float_of_int n in
+          remaining := !remaining - c;
+          (log (float_of_int d), log ccdf))
+        above
+    in
+    let k = float_of_int (List.length pts) in
+    let sx = List.fold_left (fun a (x, _) -> a +. x) 0.0 pts in
+    let sy = List.fold_left (fun a (_, y) -> a +. y) 0.0 pts in
+    let sxx = List.fold_left (fun a (x, _) -> a +. (x *. x)) 0.0 pts in
+    let sxy = List.fold_left (fun a (x, y) -> a +. (x *. y)) 0.0 pts in
+    let denom = (k *. sxx) -. (sx *. sx) in
+    if denom <= 0.0 then None
+    else begin
+      let slope = ((k *. sxy) -. (sx *. sy)) /. denom in
+      (* slope = -(gamma - 1) *)
+      Some (1.0 -. slope)
+    end
+  end

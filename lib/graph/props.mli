@@ -40,3 +40,22 @@ val degree_histogram : Graph.t -> (int * int) list
 
 val average_degree : Graph.t -> float
 (** [2m / n]; 0 for the empty graph. *)
+
+val largest_component : Graph.t -> Graph.t
+(** [largest_component g] is the subgraph induced by the largest
+    connected component, vertices renumbered densely in increasing
+    original order (ties between equal-size components break towards
+    the component containing the smallest vertex, so the result is
+    deterministic).  Returns [g] itself when already connected.  The
+    standard post-processing step for Chung–Lu / configuration-model
+    samples and ingested real-world graphs, whose cover times are only
+    defined on a connected piece. *)
+
+val degree_tail_exponent : ?dmin:int -> Graph.t -> float option
+(** [degree_tail_exponent g] estimates the power-law tail exponent
+    [gamma] of the degree distribution by least-squares on the log-log
+    complementary CDF over distinct degrees [>= dmin] (default [2]):
+    [log P(D >= d) = -(gamma - 1) log d + c].  [None] when fewer than
+    three distinct degrees survive the cutoff (near-regular graphs have
+    no tail to fit).  A sanity statistic for generator tests and
+    [graph_tool] reporting, not a rigorous estimator. *)

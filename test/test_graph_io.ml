@@ -98,6 +98,107 @@ let test_roundtrip_all_families () =
         Alcotest.failf "roundtrip failed for %s" family)
     Gen.family_names
 
+(* --- Streaming reader vs the eager string parser --- *)
+
+let write_temp content =
+  let path = Filename.temp_file "cobra_test_io" ".graph" in
+  let oc = open_out_bin path in
+  output_string oc content;
+  close_out oc;
+  path
+
+let with_temp content f =
+  let path = write_temp content in
+  Fun.protect ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ()) (fun () -> f path)
+
+let check_same_csr msg expected actual =
+  check_int (msg ^ ": n") (Graph.n expected) (Graph.n actual);
+  Alcotest.(check (array int))
+    (msg ^ ": offsets") (Graph.csr_offsets expected) (Graph.csr_offsets actual);
+  Alcotest.(check (array int))
+    (msg ^ ": adjacency") (Graph.csr_adjacency expected) (Graph.csr_adjacency actual)
+
+let test_stream_equals_string () =
+  (* The streaming channel reader and the eager of_string parser must
+     build bit-identical CSR graphs from the same bytes. *)
+  let rng = Rng.create 2020 in
+  List.iter
+    (fun family ->
+      let g = Gen.by_name family ~n:60 rng in
+      let text = Graph_io.to_string g in
+      let eager = Graph_io.of_string text in
+      let streamed =
+        with_temp text (fun path ->
+            let ic = open_in_bin path in
+            Fun.protect ~finally:(fun () -> close_in ic) (fun () -> Graph_io.read_channel ic))
+      in
+      check_same_csr family eager streamed)
+    [ "hypercube"; "lollipop"; "ba:4"; "chunglu:2.5" ]
+
+let test_stream_from_pipe () =
+  (* read_file used to seek (in_channel_length + really_input_string),
+     which cannot work on a pipe; the chunked reader must. *)
+  let g = Gen.by_name "regular-8" ~n:64 (Rng.create 4) in
+  let text = Graph_io.to_string g in
+  with_temp text (fun path ->
+      let ic = Unix.open_process_in ("cat " ^ Filename.quote path) in
+      let streamed =
+        Fun.protect
+          ~finally:(fun () -> ignore (Unix.close_process_in ic))
+          (fun () -> Graph_io.read_channel ic)
+      in
+      check_same_csr "pipe" (Graph_io.of_string text) streamed)
+
+let test_snap_from_pipe () =
+  let g = Gen.by_name "ba:3" ~n:100 (Rng.create 8) in
+  with_temp (Graph_io.to_snap g) (fun path ->
+      let ic = Unix.open_process_in ("cat " ^ Filename.quote path) in
+      let streamed =
+        Fun.protect
+          ~finally:(fun () -> ignore (Unix.close_process_in ic))
+          (fun () -> Graph_io.read_stream ic)
+      in
+      check_same_csr "snap pipe" g streamed)
+
+let test_stream_torn_tail () =
+  (* A final line without a trailing newline is complete data, not an
+     error; a line torn mid-record (one token) is malformed. *)
+  let g =
+    with_temp "cobra-graph 4\n0 1\n2 3" (fun path ->
+        let ic = open_in_bin path in
+        Fun.protect ~finally:(fun () -> close_in ic) (fun () -> Graph_io.read_channel ic))
+  in
+  Alcotest.(check (list (pair int int))) "no trailing newline" [ (0, 1); (2, 3) ] (Graph.edges g);
+  Alcotest.check_raises "torn record" (Failure "") (fun () ->
+      try
+        ignore
+          (with_temp "cobra-graph 4\n0 1\n2" (fun path ->
+               let ic = open_in_bin path in
+               Fun.protect ~finally:(fun () -> close_in ic) (fun () -> Graph_io.read_channel ic)))
+      with Failure _ -> raise (Failure ""))
+
+let test_snap_roundtrip () =
+  let g = Gen.petersen () in
+  let streamed =
+    with_temp (Graph_io.to_snap ~comment:"petersen" g) (fun path ->
+        let ic = open_in_bin path in
+        Fun.protect ~finally:(fun () -> close_in ic) (fun () -> Graph_io.read_stream ic))
+  in
+  check_same_csr "snap roundtrip" g streamed
+
+let test_stream_million_edges () =
+  (* The ISSUE acceptance bar: a 10^6-edge list streams through the
+     chunked reader and lands bit-for-bit on the eager path's CSR. *)
+  let n = 125_009 and m = 8 in
+  let g = Cobra_graph.Gen_extra.barabasi_albert ~n ~m (Rng.create 12) in
+  check_bool "instance is above a million edges" true (Graph.m g >= 1_000_000);
+  let streamed =
+    with_temp (Graph_io.to_snap g) (fun path ->
+        let ic = open_in_bin path in
+        Fun.protect ~finally:(fun () -> close_in ic) (fun () -> Graph_io.read_stream ic))
+  in
+  check_same_csr "million-edge stream" g streamed
+
 let roundtrip_random_test =
   QCheck2.Test.make ~name:"string roundtrip on random graphs" ~count:60
     QCheck2.Gen.(pair (int_range 2 40) (list_size (int_bound 100) (pair (int_bound 39) (int_bound 39))))
@@ -128,6 +229,15 @@ let () =
           Alcotest.test_case "dot" `Quick test_dot;
           Alcotest.test_case "file roundtrip" `Quick test_file_roundtrip;
           Alcotest.test_case "all families roundtrip" `Quick test_roundtrip_all_families;
+        ] );
+      ( "streaming",
+        [
+          Alcotest.test_case "stream equals of_string" `Quick test_stream_equals_string;
+          Alcotest.test_case "cobra from a pipe" `Quick test_stream_from_pipe;
+          Alcotest.test_case "snap from a pipe" `Quick test_snap_from_pipe;
+          Alcotest.test_case "torn tail" `Quick test_stream_torn_tail;
+          Alcotest.test_case "snap roundtrip" `Quick test_snap_roundtrip;
+          Alcotest.test_case "million-edge stream" `Slow test_stream_million_edges;
         ] );
       ("property", [ QCheck_alcotest.to_alcotest roundtrip_random_test ]);
     ]
