@@ -138,6 +138,39 @@ let scaling_rows ~quick =
     done;
     Cobra_obs.Timer.elapsed_s timer *. 1e9 /. float_of_int rounds
   in
+  (* Storage ablation: the same serial dense rounds on explicitly boxed
+     and explicitly packed storage.  These two rows feed an A-vs-B gate
+     (packed must not be slower than boxed), so unlike the scheduling
+     rows they take the minimum over a few repetitions — the comparison
+     must not flip on one GC pause. *)
+  let time_rounds_min step =
+    let best = ref Float.infinity in
+    for _ = 1 to 3 do
+      best := Float.min !best (time_rounds step)
+    done;
+    !best
+  in
+  let repr_rows family gname g =
+    List.map
+      (fun (kernel, variant) ->
+        let seq_rng = Rng.create 11 in
+        let scratch = Array.make Process.sparse_frontier_threshold 0 in
+        {
+          sc_name = Printf.sprintf "scaling: %s %s" kernel gname;
+          sc_kernel = kernel;
+          sc_family = family;
+          sc_n = n;
+          sc_domains = 1;
+          sc_ns =
+            time_rounds_min (fun ~round:_ ~current ~next ->
+                Process.cobra_step ~scratch variant seq_rng ~branching:(Process.Fixed 2)
+                  ~lazy_:false ~current ~next);
+        })
+      [
+        ("cobra_step_boxed", Cobra_graph.Graph.to_boxed g);
+        ("cobra_step_packed", Cobra_graph.Graph.pack g);
+      ]
+  in
   List.concat_map
     (fun (family, gname, g) ->
       let serial =
@@ -173,7 +206,7 @@ let scaling_rows ~quick =
                 }))
           widths
       in
-      serial :: keyed)
+      (serial :: repr_rows family gname g) @ keyed)
     graphs
 
 let run_scaling ~quick =
@@ -406,6 +439,10 @@ type ingest_row = {
   ig_n : int;
   ig_m : int;
   ig_ms : float; (* ms per build/ingest *)
+  ig_bytes_per_entry : float option;
+      (* CSR bytes per directed adjacency entry of the product graph,
+         on rows where a graph materialises (the packed-storage memory
+         claim the gate pins at <= 4.5) *)
 }
 
 let ingest_rows ~quick =
@@ -424,13 +461,25 @@ let ingest_rows ~quick =
   let ba = Cobra_graph.Gen_extra.barabasi_albert ~n ~m:8 (Rng.create 21) in
   let edge_array = Array.of_list (Cobra_graph.Graph.edges ba) in
   let m = Array.length edge_array in
-  let row name kernel family ~m ~ms =
-    { ig_name = name; ig_kernel = kernel; ig_family = family; ig_n = n; ig_m = m; ig_ms = ms }
+  let bytes_per_entry g =
+    float_of_int (Cobra_graph.Graph.storage_bytes g)
+    /. float_of_int (max 1 (2 * Cobra_graph.Graph.m g))
+  in
+  let row ?bytes name kernel family ~m ~ms =
+    {
+      ig_name = name;
+      ig_kernel = kernel;
+      ig_family = family;
+      ig_n = n;
+      ig_m = m;
+      ig_ms = ms;
+      ig_bytes_per_entry = bytes;
+    }
   in
   let builder_row =
     row
       (Printf.sprintf "ingest: builder csr n=%d m=%d" n m)
-      "builder_finish" "ba" ~m
+      "builder_finish" "ba" ~m ~bytes:(bytes_per_entry ba)
       ~ms:
         (time_ms ~reps (fun () ->
              let b = Cobra_graph.Builder.create ~n ~edges_hint:m () in
@@ -479,7 +528,62 @@ let ingest_rows ~quick =
                    ~finally:(fun () -> close_in ic)
                    (fun () -> Cobra_graph.Graph_io.read_stream ic))))
   in
-  [ builder_row; tuple_row; gen_ba_row; gen_cl_row; stream_row ]
+  (* Storage ablation: a full neighbour scan (the access pattern of
+     every kernel inner loop) on boxed vs packed storage of the same
+     graph.  Min-over-reps on both sides; the gate compares them. *)
+  let scan g =
+    let acc = ref 0 in
+    for u = 0 to Cobra_graph.Graph.n g - 1 do
+      let d = Cobra_graph.Graph.unsafe_degree g u in
+      for i = 0 to d - 1 do
+        acc := !acc + Cobra_graph.Graph.unsafe_neighbor g u i
+      done
+    done;
+    !acc
+  in
+  let boxed = Cobra_graph.Graph.to_boxed ba and packed = Cobra_graph.Graph.pack ba in
+  let scan_reps = 5 * reps in
+  let scan_boxed_row =
+    row
+      (Printf.sprintf "ingest: neighbour scan boxed n=%d m=%d" n m)
+      "scan_boxed" "ba" ~m ~bytes:(bytes_per_entry boxed)
+      ~ms:(time_ms ~reps:scan_reps (fun () -> scan boxed))
+  in
+  let scan_packed_row =
+    row
+      (Printf.sprintf "ingest: neighbour scan packed n=%d m=%d" n m)
+      "scan_packed" "ba" ~m ~bytes:(bytes_per_entry packed)
+      ~ms:(time_ms ~reps:scan_reps (fun () -> scan packed))
+  in
+  (* .cgr serialisation: write, eager (validating) load, mmap open plus
+     a first-touch scan so the row prices the faults, not just mmap. *)
+  let cgr_rows =
+    let path = Filename.temp_file "cobra_bench" ".cgr" in
+    Fun.protect
+      ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+      (fun () ->
+        let write_row =
+          row
+            (Printf.sprintf "ingest: cgr write n=%d m=%d" n m)
+            "cgr_write" "ba" ~m
+            ~ms:(time_ms ~reps (fun () -> Cobra_graph.Cgr.write path ba))
+        in
+        let eager_row =
+          row
+            (Printf.sprintf "ingest: cgr read eager n=%d m=%d" n m)
+            "cgr_read_eager" "ba" ~m ~bytes:(bytes_per_entry packed)
+            ~ms:(time_ms ~reps (fun () -> Cobra_graph.Cgr.read_eager path))
+        in
+        let mmap_row =
+          row
+            (Printf.sprintf "ingest: cgr mmap + full scan n=%d m=%d" n m)
+            "cgr_read_mmap" "ba" ~m ~bytes:(bytes_per_entry packed)
+            ~ms:(time_ms ~reps (fun () -> scan (Cobra_graph.Cgr.read_mmap path)))
+        in
+        [ write_row; eager_row; mmap_row ])
+  in
+  [ builder_row; tuple_row; gen_ba_row; gen_cl_row; stream_row; scan_boxed_row; scan_packed_row ]
+  @ cgr_rows
 
 let run_ingest ~quick =
   let rows = ingest_rows ~quick in
@@ -487,8 +591,11 @@ let run_ingest ~quick =
   Printf.printf "%s\n" (String.make 66 '-');
   List.iter
     (fun r ->
-      Printf.printf "%-50s %9.2f ms (%5.1f Medge/s)\n" r.ig_name r.ig_ms
-        (if r.ig_ms > 0.0 then float_of_int r.ig_m /. (r.ig_ms /. 1e3) /. 1e6 else 0.0))
+      Printf.printf "%-50s %9.2f ms (%5.1f Medge/s)%s\n" r.ig_name r.ig_ms
+        (if r.ig_ms > 0.0 then float_of_int r.ig_m /. (r.ig_ms /. 1e3) /. 1e6 else 0.0)
+        (match r.ig_bytes_per_entry with
+        | Some b -> Printf.sprintf " [%.2f B/entry]" b
+        | None -> ""))
     rows;
   rows
 
@@ -541,13 +648,17 @@ let write_bench_json rows ~scaling ~spectral ~ingest =
     List.map
       (fun r ->
         Cobra_obs.Json.Obj
-          [
-            ("kernel", Cobra_obs.Json.String r.ig_kernel);
-            ("family", Cobra_obs.Json.String r.ig_family);
-            ("n", Cobra_obs.Json.Int r.ig_n);
-            ("m", Cobra_obs.Json.Int r.ig_m);
-            ("ms_per_run", Cobra_obs.Json.Float r.ig_ms);
-          ])
+          ([
+             ("kernel", Cobra_obs.Json.String r.ig_kernel);
+             ("family", Cobra_obs.Json.String r.ig_family);
+             ("n", Cobra_obs.Json.Int r.ig_n);
+             ("m", Cobra_obs.Json.Int r.ig_m);
+             ("ms_per_run", Cobra_obs.Json.Float r.ig_ms);
+           ]
+          @
+          match r.ig_bytes_per_entry with
+          | Some b -> [ ("bytes_per_entry", Cobra_obs.Json.Float b) ]
+          | None -> []))
       ingest
   in
   let doc =

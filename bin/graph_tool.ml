@@ -7,7 +7,9 @@
      cobra-graph-tool dot --family petersen -n 10
      cobra-graph-tool generate --family chunglu:2.5 -n 100000 --format snap -o web.snap
      cat web.snap | cobra-graph-tool ingest -
-     cobra-graph-tool ingest soc-LiveJournal.txt --remap -o lj.graph *)
+     cobra-graph-tool ingest soc-LiveJournal.txt --remap -o lj.graph
+     cobra-graph-tool pack lj.graph -o lj.cgr --verify
+     cobra-graph-tool info lj.cgr *)
 
 module Graph = Cobra_graph.Graph
 module Gen = Cobra_graph.Gen
@@ -50,19 +52,32 @@ let emit output text =
       Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc text);
       Printf.printf "wrote %s\n" path
 
+(* A [-o whatever.cgr] means the packed binary format regardless of the
+   subcommand's text format flags; [Graph_io.write_file] dispatches. *)
+let is_cgr_output = function Some path -> Filename.check_suffix path ".cgr" | None -> false
+
 let gen_cmd =
   let run family n seed output =
     let g = Gen.by_name family ~n (Cobra_prng.Rng.create seed) in
-    emit output (Graph_io.to_string g)
+    if is_cgr_output output then begin
+      let path = Option.get output in
+      Graph_io.write_file path g;
+      Printf.printf "wrote %s\n" path
+    end
+    else emit output (Graph_io.to_string g)
   in
   Cmd.v
-    (Cmd.info "gen" ~doc:"Generate a graph and write it as an edge list")
+    (Cmd.info "gen" ~doc:"Generate a graph and write it as an edge list (or .cgr binary)")
     Term.(const run $ family_arg $ n_arg $ seed_arg $ output_arg)
 
 let info_cmd =
   let run file family n seed spectral =
     let g = obtain file family n seed in
     Format.printf "%a@." Graph.pp_stats g;
+    Format.printf "storage: %s, %d bytes (%.2f bytes/entry)@."
+      (if Graph.is_packed g then "packed int32" else "boxed")
+      (Graph.storage_bytes g)
+      (float_of_int (Graph.storage_bytes g) /. float_of_int (max 1 (2 * Graph.m g)));
     Format.printf "connected: %b, bipartite: %b@." (Props.is_connected g) (Props.is_bipartite g);
     if Props.is_connected g && Graph.n g > 1 then begin
       let diam_lb = Props.diameter_lower_bound g in
@@ -218,6 +233,50 @@ let ingest_cmd =
       const run $ ingest_pos $ input_format_arg $ remap_arg $ strict_arg $ eager_arg
       $ giant_arg $ output_arg)
 
+let pack_cmd =
+  let out_arg =
+    let doc = "Output .cgr path." in
+    Arg.(required & opt (some string) None & info [ "o"; "output" ] ~docv:"OUT.cgr" ~doc)
+  in
+  let verify_arg =
+    let doc = "Reload the written file through both the eager and the mmap loader and \
+               check the CSR round-trips exactly." in
+    Arg.(value & flag & info [ "verify" ] ~doc)
+  in
+  let run file family n seed output verify =
+    let g = obtain file family n seed in
+    let timer = Cobra_obs.Timer.start () in
+    Cobra_graph.Cgr.write output g;
+    let write_s = Cobra_obs.Timer.elapsed_s timer in
+    let entries = Graph.n g + 1 + (2 * Graph.m g) in
+    Printf.printf "wrote %s: n=%d m=%d, %d bytes (%.2f bytes/entry) in %.3fs\n" output
+      (Graph.n g) (Graph.m g)
+      (32 + (4 * entries))
+      (float_of_int (32 + (4 * entries)) /. float_of_int (max 1 (2 * Graph.m g)))
+      write_s;
+    if verify then begin
+      let same h =
+        Graph.n h = Graph.n g
+        && Graph.m h = Graph.m g
+        && Graph.csr_offsets h = Graph.csr_offsets g
+        && Graph.csr_adjacency h = Graph.csr_adjacency g
+      in
+      let eager = Cobra_graph.Cgr.read_eager output in
+      let mapped = Cobra_graph.Cgr.read_mmap output in
+      if same eager && same mapped then Printf.printf "verify: eager and mmap reload OK\n"
+      else begin
+        Printf.eprintf "verify: reload does NOT match the source graph\n";
+        exit 1
+      end
+    end
+  in
+  Cmd.v
+    (Cmd.info "pack"
+       ~doc:
+         "Pack a graph (edge-list file, .cgr file, or generated family) into the .cgr \
+          binary format: int32 CSR, mmap-openable in O(1)")
+    Term.(const run $ file_pos $ family_arg $ n_arg $ seed_arg $ out_arg $ verify_arg)
+
 let output_format_arg =
   let formats = [ ("cobra", `Cobra); ("snap", `Snap); ("dot", `Dot) ] in
   let doc = "Output format: $(b,cobra) (native), $(b,snap) (header-less) or $(b,dot)." in
@@ -230,13 +289,20 @@ let stats_arg =
 let generate_cmd =
   let run family n seed format stats output =
     let g = Gen.by_name family ~n (Cobra_prng.Rng.create seed) in
-    let text =
-      match format with
-      | `Cobra -> Graph_io.to_string g
-      | `Snap -> Graph_io.to_snap ~comment:(Printf.sprintf "%s n=%d seed=%d" family n seed) g
-      | `Dot -> Graph_io.to_dot g
-    in
-    emit output text;
+    if is_cgr_output output then begin
+      let path = Option.get output in
+      Graph_io.write_file path g;
+      Printf.printf "wrote %s\n" path
+    end
+    else begin
+      let text =
+        match format with
+        | `Cobra -> Graph_io.to_string g
+        | `Snap -> Graph_io.to_snap ~comment:(Printf.sprintf "%s n=%d seed=%d" family n seed) g
+        | `Dot -> Graph_io.to_dot g
+      in
+      emit output text
+    end;
     if stats then print_degree_stats Format.err_formatter g
   in
   Cmd.v
@@ -311,6 +377,6 @@ let main_cmd =
   let doc = "Generate and inspect the graph families used by the COBRA experiments" in
   Cmd.group
     (Cmd.info "cobra-graph-tool" ~version:"1.0.0" ~doc)
-    [ gen_cmd; info_cmd; dot_cmd; spectral_cmd; ingest_cmd; generate_cmd ]
+    [ gen_cmd; info_cmd; dot_cmd; spectral_cmd; ingest_cmd; generate_cmd; pack_cmd ]
 
 let () = exit (Cmd.eval main_cmd)

@@ -31,7 +31,11 @@ let[@inline] mod_bpw i = i - (div_bpw i * bpw)
 let create capacity =
   if capacity < 0 then invalid_arg "Bitset.create: negative capacity";
   if capacity > max_capacity then
-    invalid_arg "Bitset.create: capacity exceeds the 2^30 addressing limit";
+    invalid_arg
+      (Printf.sprintf
+         "Bitset.create: capacity %d exceeds the %d (2^30) addressing limit of the \
+          multiply-shift word indexing"
+         capacity max_capacity);
   { capacity; words = Array.make (max 1 (nwords capacity)) 0; card = 0 }
 
 let capacity t = t.capacity

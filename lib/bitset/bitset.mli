@@ -14,8 +14,16 @@ type t
 
 val create : int -> t
 (** [create capacity] is the empty set over [0 .. capacity-1].
-    @raise Invalid_argument if [capacity < 0] or [capacity > 2{^30}]
-    (the limit of the internal multiplicative word addressing). *)
+
+    The capacity is capped at [2{^30}] (about 1.07e9 elements): word
+    addressing divides by 63 with an exact multiply-shift whose
+    reciprocal is only correct for indices below [2{^30}], and the cap
+    is what keeps that trick sound.  [create (1 lsl 30)] succeeds;
+    [create (1 lsl 30 + 1)] raises.  Graphs beyond a billion vertices
+    must shard their vertex sets.
+    @raise Invalid_argument if [capacity < 0], or if
+    [capacity > 2{^30}] — the message names both the cap and the
+    requested capacity. *)
 
 val capacity : t -> int
 (** Universe size the set was created with. *)

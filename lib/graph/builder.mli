@@ -5,10 +5,10 @@
     {!Graph.t} that {!Graph.of_edge_array} would produce from the same
     multiset of edges (duplicates removed, slices sorted), without ever
     materialising a tuple list.  Peak memory while {!finish} runs is
-    about 3 words per added edge (one packed word in the edge buffer
-    plus the two adjacency entries) versus ~8 for the tuple-list +
-    packed-array + global-sort path, which is what makes 10^7+-vertex
-    ingestion feasible.
+    about 2 words per added edge (one packed word in the edge buffer
+    plus the two int32 adjacency entries) versus ~8 for the tuple-list
+    + packed-array + global-sort path, which is what makes
+    10^7+-vertex ingestion feasible.
 
     Two sizing modes:
     - [create ~n ()] fixes the vertex set to [0 .. n-1]; out-of-range
@@ -43,8 +43,14 @@ val edge_count : t -> int
 
 val finish : t -> Graph.t
 (** [finish b] counting-sorts the buffered edges into a CSR graph and
-    consumes the builder.  The result is bit-identical (same [offsets]
-    and [adj] arrays) to [Graph.of_edge_array] over the same edges.
+    consumes the builder.  The CSR values are identical (same offsets
+    and adjacency sequences) to [Graph.of_edge_array] over the same
+    edges; when the directed entry count and vertex count both fit
+    [2^31 - 1] — always, given the id limit, unless the deduplicated
+    graph has 2^30+ edges — the result uses packed int32 storage
+    ([Graph.is_packed]), scattered and slice-sorted directly in the
+    int32 bigarray so no boxed copy of the adjacency ever exists and
+    peak memory stays ~2 words per edge.
     @raise Invalid_argument if called twice. *)
 
 val of_edge_seq : ?n:int -> (int * int) Seq.t -> Graph.t

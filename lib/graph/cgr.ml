@@ -1,0 +1,219 @@
+(* .cgr: the packed binary on-disk graph format.
+
+   Layout (all multi-byte fields little-endian):
+
+     offset  size        field
+     0       8           magic "cobra.gr"
+     8       4           version (currently 1), int32
+     12      4           reserved flags, int32, must be 0
+     16      8           n, int64
+     24      8           m, int64
+     32      4 (n + 1)   CSR offsets, int32 each
+     ...     4 * 2 m     CSR adjacency, int32 each
+
+   The payload is exactly the packed in-memory representation, so a
+   loader can either read it eagerly into fresh bigarrays or hand the
+   kernel mmap-backed views of the file: both 4-byte aligned sections
+   start at fixed, computable offsets, and [Unix.map_file] accepts an
+   arbitrary byte position.  A graph therefore opens in O(1) time and
+   O(1) resident memory, with the OS paging adjacency in on demand —
+   the only way an m ~ 10^9 instance fits the container.
+
+   The format is defined little-endian (the byte order of every target
+   this project runs on); on a big-endian host both reader and writer
+   refuse rather than silently swapping.
+
+   Validation tiers:
+   - both loaders check magic, version, flags, non-negative counts,
+     int32 range, and that the file length is exactly
+     [32 + 4 (n + 1) + 8 m] — a torn or truncated file is rejected
+     before any data is interpreted;
+   - the eager loader additionally walks the offsets (monotone, 0 to
+     2m) and range-checks every adjacency entry — O(n + m) on data it
+     is reading anyway;
+   - the mmap loader skips the O(n + m) walk: the point is O(1) open,
+     so it trusts the payload under the same contract as
+     [Graph.unsafe_of_packed_csr].  Pack files you trust, or load
+     eagerly once to verify. *)
+
+module A1 = Bigarray.Array1
+
+let magic = "cobra.gr"
+let version = 1
+let header_bytes = 32
+
+exception Bad_file of string
+
+let fail path fmt = Printf.ksprintf (fun s -> raise (Bad_file (path ^ ": " ^ s))) fmt
+
+let check_endianness path =
+  if Sys.big_endian then
+    fail path ".cgr is a little-endian format and this host is big-endian"
+
+let expected_size ~n ~m = header_bytes + (4 * (n + 1)) + (4 * 2 * m)
+
+(* --- Writer --- *)
+
+(* Entries stream through a fixed 64 KiB staging buffer; the writer
+   never materialises a second copy of the graph, so packing an
+   m ~ 10^8 instance costs O(1) memory beyond the graph itself. *)
+let chunk_entries = 16384
+
+let write_entries oc buf ~count get =
+  let pos = ref 0 in
+  for i = 0 to count - 1 do
+    if !pos = chunk_entries then begin
+      output_bytes oc buf;
+      pos := 0
+    end;
+    Bytes.set_int32_le buf (4 * !pos) (get i);
+    incr pos
+  done;
+  if !pos > 0 then output oc buf 0 (4 * !pos)
+
+let write path g =
+  check_endianness path;
+  let n = Graph.n g and m = Graph.m g in
+  if n > Int32.to_int Int32.max_int || 2 * m > Int32.to_int Int32.max_int then
+    invalid_arg
+      (Printf.sprintf "Cgr.write: graph too large for int32 payload (n=%d, 2m=%d)" n (2 * m));
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      let header = Bytes.create header_bytes in
+      Bytes.blit_string magic 0 header 0 8;
+      Bytes.set_int32_le header 8 (Int32.of_int version);
+      Bytes.set_int32_le header 12 0l;
+      Bytes.set_int64_le header 16 (Int64.of_int n);
+      Bytes.set_int64_le header 24 (Int64.of_int m);
+      output_bytes oc header;
+      let buf = Bytes.create (4 * chunk_entries) in
+      match Graph.csr g with
+      | Graph.Csr_packed { offsets; adj } ->
+          write_entries oc buf ~count:(n + 1) (fun i -> A1.unsafe_get offsets i);
+          write_entries oc buf ~count:(2 * m) (fun i -> A1.unsafe_get adj i)
+      | Graph.Csr_boxed { offsets; adj } ->
+          write_entries oc buf ~count:(n + 1) (fun i ->
+              Int32.of_int (Array.unsafe_get offsets i));
+          write_entries oc buf ~count:(2 * m) (fun i ->
+              Int32.of_int (Array.unsafe_get adj i)))
+
+(* --- Header parsing shared by both loaders --- *)
+
+let read_header path ic_len read_exactly =
+  if ic_len < header_bytes then fail path "truncated header (%d bytes)" ic_len;
+  let header = read_exactly header_bytes in
+  if Bytes.sub_string header 0 8 <> magic then fail path "bad magic (not a .cgr file)";
+  let v = Int32.to_int (Bytes.get_int32_le header 8) in
+  if v <> version then fail path "unsupported version %d (this reader handles %d)" v version;
+  if Bytes.get_int32_le header 12 <> 0l then fail path "nonzero reserved flags";
+  let n64 = Bytes.get_int64_le header 16 and m64 = Bytes.get_int64_le header 24 in
+  let fits x = Int64.compare x 0L >= 0 && Int64.compare x (Int64.of_int32 Int32.max_int) <= 0 in
+  if not (fits n64 && fits m64) then fail path "vertex or edge count out of int32 range";
+  let n = Int64.to_int n64 and m = Int64.to_int m64 in
+  if 2 * m > Int32.to_int Int32.max_int then fail path "2m = %d exceeds the int32 payload" (2 * m);
+  let expected = expected_size ~n ~m in
+  if ic_len <> expected then
+    fail path "file is %d bytes, header promises %d (n=%d, m=%d) — torn or truncated" ic_len
+      expected n m;
+  (n, m)
+
+(* --- Eager loader --- *)
+
+let read_array1 ic buf ~count =
+  let a = A1.create Bigarray.int32 Bigarray.c_layout count in
+  let pos = ref 0 in
+  while !pos < count do
+    let batch = min chunk_entries (count - !pos) in
+    really_input ic buf 0 (4 * batch);
+    for i = 0 to batch - 1 do
+      A1.unsafe_set a (!pos + i) (Bytes.get_int32_le buf (4 * i))
+    done;
+    pos := !pos + batch
+  done;
+  a
+
+let validate_payload path ~n ~m offsets adj =
+  if A1.get offsets 0 <> 0l then fail path "offsets.(0) <> 0";
+  for u = 0 to n - 1 do
+    if A1.unsafe_get offsets (u + 1) < A1.unsafe_get offsets u then
+      fail path "offsets not monotone at vertex %d" u
+  done;
+  if Int32.to_int (A1.get offsets n) <> 2 * m then fail path "offsets.(n) <> 2m";
+  let n32 = Int32.of_int n in
+  for i = 0 to (2 * m) - 1 do
+    let v = A1.unsafe_get adj i in
+    if v < 0l || v >= n32 then
+      fail path "adjacency entry %ld out of range [0, %d)" v n
+  done
+
+let read_eager path =
+  check_endianness path;
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let len = in_channel_length ic in
+      let n, m =
+        read_header path len (fun k ->
+            let b = Bytes.create k in
+            really_input ic b 0 k;
+            b)
+      in
+      let buf = Bytes.create (4 * chunk_entries) in
+      let offsets = read_array1 ic buf ~count:(n + 1) in
+      let adj = read_array1 ic buf ~count:(2 * m) in
+      validate_payload path ~n ~m offsets adj;
+      Graph.unsafe_of_packed_csr ~n ~m ~offsets ~adj)
+
+(* --- Mmap loader --- *)
+
+let read_mmap path =
+  check_endianness path;
+  let fd = Unix.openfile path [ Unix.O_RDONLY ] 0 in
+  Fun.protect
+    ~finally:(fun () -> Unix.close fd)
+    (fun () ->
+      let len = (Unix.LargeFile.fstat fd).Unix.LargeFile.st_size in
+      if Int64.compare len (Int64.of_int Sys.max_string_length) > 0 then
+        fail path "file too large for this platform";
+      let len = Int64.to_int len in
+      let n, m =
+        read_header path len (fun k ->
+            let b = Bytes.create k in
+            let got = Unix.read fd b 0 k in
+            if got < k then fail path "short header read";
+            b)
+      in
+      (* MAP_PRIVATE read-only views; the mappings survive the fd close
+         and are reclaimed by the GC when the graph dies.  Pages fault
+         in on first touch, so opening is O(1) regardless of m. *)
+      let map ~pos ~dim =
+        A1.change_layout
+          (Bigarray.array1_of_genarray
+             (Unix.map_file fd ~pos:(Int64.of_int pos) Bigarray.int32 Bigarray.c_layout false
+                [| dim |]))
+          Bigarray.c_layout
+      in
+      let offsets = map ~pos:header_bytes ~dim:(n + 1) in
+      let adj = map ~pos:(header_bytes + (4 * (n + 1))) ~dim:(2 * m) in
+      (* Cheap spot checks only (see the module comment for the trust
+         model): the ends of the offset array must frame the payload. *)
+      if A1.get offsets 0 <> 0l || Int32.to_int (A1.get offsets n) <> 2 * m then
+        fail path "offset array does not frame the adjacency payload";
+      Graph.unsafe_of_packed_csr ~n ~m ~offsets ~adj)
+
+let read ?(mmap = true) path = if mmap then read_mmap path else read_eager path
+
+(* Magic sniff for format dispatch: true iff [path] starts with the
+   .cgr magic bytes.  Does not validate anything else. *)
+let is_cgr_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let b = Bytes.create 8 in
+      match really_input ic b 0 8 with
+      | () -> Bytes.to_string b = magic
+      | exception End_of_file -> false)

@@ -1,12 +1,38 @@
-type t = {
-  n : int;
-  m : int;
-  offsets : int array; (* length n+1; neighbours of u live at offsets.(u) .. offsets.(u+1)-1 *)
-  adj : int array; (* length 2m; each undirected edge stored twice *)
-}
+module A1 = Bigarray.Array1
+
+type int32_array = (int32, Bigarray.int32_elt, Bigarray.c_layout) A1.t
+
+(* Two physical layouts behind one accessor surface:
+
+   - [Boxed]: the historical representation, plain OCaml [int array]s —
+     8 bytes per entry, ~16 bytes per undirected edge for [adj].
+   - [Packed]: C-layout int32 bigarrays — 4 bytes per entry, so the
+     adjacency of an m-edge graph costs 8m bytes instead of 16m, and
+     the storage can be backed by [Unix.map_file] so multi-GiB graphs
+     open in O(1) and page in on demand (see {!Cgr}).
+
+   Every accessor branches on the storage once; the branch is perfectly
+   predicted (a graph never changes representation in place) and the
+   packed loads compile to an unboxed 32-bit read + sign extension —
+   measured allocation-free and at parity-or-better with the boxed path
+   (bandwidth halves, which is what the adjacency-scan kernels are
+   bound on; see the repr: bench rows).
+
+   Packing requires every stored value to fit in an int32: vertex ids
+   (adj entries) and offsets (bounded by 2m) must be < 2^31.  Graphs
+   beyond that stay boxed. *)
+type storage =
+  | Boxed of { offsets : int array; adj : int array }
+  | Packed of { offsets : int32_array; adj : int32_array }
+
+type t = { n : int; m : int; storage : storage }
 
 let n t = t.n
 let m t = t.m
+let is_packed t = match t.storage with Boxed _ -> false | Packed _ -> true
+
+(* Largest value representable in the packed storage. *)
+let max_packed = Int32.to_int Int32.max_int
 
 let check_vertex t u =
   if u < 0 || u >= t.n then
@@ -61,41 +87,97 @@ let of_edge_array ~n edges =
   (* Second pass for the reverse direction: iterate sorted edges again;
      for each v the incoming u values appear in increasing order, but
      they must be merged with the forward entries, so a final per-slice
-     sort is still needed — do it with the int comparator. *)
+     sort is still needed — in place, no per-vertex temporary. *)
   for i = 0 to m - 1 do
     let u = packed.(i) / n and v = packed.(i) mod n in
     adj.(cursor.(v)) <- u;
     cursor.(v) <- cursor.(v) + 1
   done;
   for u = 0 to n - 1 do
-    let lo = offsets.(u) and hi = offsets.(u + 1) in
-    let slice = Array.sub adj lo (hi - lo) in
-    Array.sort Int.compare slice;
-    Array.blit slice 0 adj lo (hi - lo)
+    Int_sort.sort_range adj ~lo:offsets.(u) ~hi:offsets.(u + 1)
   done;
-  { n; m; offsets; adj }
+  { n; m; storage = Boxed { offsets; adj } }
 
 let of_edges ~n edges = of_edge_array ~n (Array.of_list edges)
 
-(* Trusted constructor for Builder.finish: the caller guarantees the CSR
-   invariants (offsets monotone with offsets.(n) = 2m, every slice sorted
-   and duplicate-free, edges symmetric, no self-loops).  Only the cheap
-   length consistency is re-checked here — re-validating the structure
-   would cost the O(m) pass the builder exists to avoid. *)
+(* Trusted constructors for Builder.finish and the .cgr loaders: the
+   caller guarantees the CSR invariants (offsets monotone with
+   offsets.(n) = 2m, every slice sorted and duplicate-free, edges
+   symmetric, no self-loops).  Only the cheap length consistency is
+   re-checked here — re-validating the structure would cost the O(m)
+   pass these constructors exist to avoid. *)
 let unsafe_of_csr ~n ~m ~offsets ~adj =
   if n < 0 || m < 0 || Array.length offsets <> n + 1 || offsets.(n) <> 2 * m
      || Array.length adj <> 2 * m
   then invalid_arg "Graph.unsafe_of_csr: inconsistent CSR arrays";
-  { n; m; offsets; adj }
+  { n; m; storage = Boxed { offsets; adj } }
+
+let unsafe_of_packed_csr ~n ~m ~offsets ~adj =
+  if n < 0 || m < 0 || A1.dim offsets <> n + 1
+     || Int32.to_int (A1.get offsets n) <> 2 * m
+     || A1.dim adj <> 2 * m
+  then invalid_arg "Graph.unsafe_of_packed_csr: inconsistent CSR arrays";
+  { n; m; storage = Packed { offsets; adj } }
+
+(* --- Representation conversion --- *)
+
+let pack t =
+  match t.storage with
+  | Packed _ -> t
+  | Boxed { offsets; adj } ->
+      if 2 * t.m > max_packed || t.n > max_packed then
+        invalid_arg
+          (Printf.sprintf
+             "Graph.pack: graph too large for int32 storage (n=%d, 2m=%d, limit %d)" t.n
+             (2 * t.m) max_packed);
+      let po = A1.create Bigarray.int32 Bigarray.c_layout (t.n + 1) in
+      for i = 0 to t.n do
+        A1.unsafe_set po i (Int32.of_int (Array.unsafe_get offsets i))
+      done;
+      let pa = A1.create Bigarray.int32 Bigarray.c_layout (2 * t.m) in
+      for i = 0 to (2 * t.m) - 1 do
+        A1.unsafe_set pa i (Int32.of_int (Array.unsafe_get adj i))
+      done;
+      { t with storage = Packed { offsets = po; adj = pa } }
+
+let to_boxed t =
+  match t.storage with
+  | Boxed _ -> t
+  | Packed { offsets; adj } ->
+      let bo = Array.init (t.n + 1) (fun i -> Int32.to_int (A1.unsafe_get offsets i)) in
+      let ba = Array.init (2 * t.m) (fun i -> Int32.to_int (A1.unsafe_get adj i)) in
+      { t with storage = Boxed { offsets = bo; adj = ba } }
+
+let storage_bytes t =
+  match t.storage with
+  | Boxed { offsets; adj } -> 8 * (Array.length offsets + Array.length adj)
+  | Packed { offsets; adj } -> 4 * (A1.dim offsets + A1.dim adj)
+
+(* --- Accessors ---
+
+   Each hot accessor carries its own single match so the whole access
+   path (offset loads, adjacency load, int32 widening) inlines into the
+   kernel loop with one predicted branch and no closure. *)
 
 let degree t u =
   check_vertex t u;
-  t.offsets.(u + 1) - t.offsets.(u)
+  match t.storage with
+  | Boxed { offsets; _ } -> offsets.(u + 1) - offsets.(u)
+  | Packed { offsets; _ } -> Int32.to_int (A1.get offsets (u + 1)) - Int32.to_int (A1.get offsets u)
+
+(* [degree] without the vertex-range check — the companion of
+   [unsafe_neighbor] for kernels that draw many indices below the same
+   degree and hoist the rejection mask across the fan-out. *)
+let[@inline] unsafe_degree t u =
+  match t.storage with
+  | Boxed { offsets; _ } -> Array.unsafe_get offsets (u + 1) - Array.unsafe_get offsets u
+  | Packed { offsets; _ } ->
+      Int32.to_int (A1.unsafe_get offsets (u + 1)) - Int32.to_int (A1.unsafe_get offsets u)
 
 let max_degree t =
   let best = ref 0 in
   for u = 0 to t.n - 1 do
-    let d = t.offsets.(u + 1) - t.offsets.(u) in
+    let d = unsafe_degree t u in
     if d > !best then best := d
   done;
   !best
@@ -105,7 +187,7 @@ let min_degree t =
   else begin
     let best = ref max_int in
     for u = 0 to t.n - 1 do
-      let d = t.offsets.(u + 1) - t.offsets.(u) in
+      let d = unsafe_degree t u in
       if d < !best then best := d
     done;
     !best
@@ -113,12 +195,20 @@ let min_degree t =
 
 let is_regular t = t.n <= 1 || max_degree t = min_degree t
 
+(* [neighbor] without the vertex/index checks, for inner loops whose
+   indices come from [int_below (degree u)]. *)
+let[@inline] unsafe_neighbor t u i =
+  match t.storage with
+  | Boxed { offsets; adj } -> Array.unsafe_get adj (Array.unsafe_get offsets u + i)
+  | Packed { offsets; adj } ->
+      Int32.to_int (A1.unsafe_get adj (Int32.to_int (A1.unsafe_get offsets u) + i))
+
 let neighbor t u i =
   check_vertex t u;
-  let d = t.offsets.(u + 1) - t.offsets.(u) in
+  let d = unsafe_degree t u in
   if i < 0 || i >= d then
     invalid_arg (Printf.sprintf "Graph.neighbor: index %d out of range [0, %d)" i d);
-  t.adj.(t.offsets.(u) + i)
+  unsafe_neighbor t u i
 
 (* No vertex-range or isolation check and no array bounds checks: the
    simulation step loops call this once per transmission with vertices
@@ -126,70 +216,80 @@ let neighbor t u i =
    [int_below] as [random_neighbor].  An isolated vertex makes
    [int_below] raise on 0. *)
 let[@inline] unsafe_random_neighbor t rng u =
-  let lo = Array.unsafe_get t.offsets u in
-  let d = Array.unsafe_get t.offsets (u + 1) - lo in
-  Array.unsafe_get t.adj (lo + Cobra_prng.Rng.int_below rng d)
+  match t.storage with
+  | Boxed { offsets; adj } ->
+      let lo = Array.unsafe_get offsets u in
+      let d = Array.unsafe_get offsets (u + 1) - lo in
+      Array.unsafe_get adj (lo + Cobra_prng.Rng.int_below rng d)
+  | Packed { offsets; adj } ->
+      let lo = Int32.to_int (A1.unsafe_get offsets u) in
+      let d = Int32.to_int (A1.unsafe_get offsets (u + 1)) - lo in
+      Int32.to_int (A1.unsafe_get adj (lo + Cobra_prng.Rng.int_below rng d))
 
 (* Keyed-draw twin of [unsafe_random_neighbor]: same addressing, the
    index comes from a counter-based stream instead of the sequential
    one, so sharded step kernels can call it from any domain. *)
 let[@inline] unsafe_keyed_neighbor t k u =
-  let lo = Array.unsafe_get t.offsets u in
-  let d = Array.unsafe_get t.offsets (u + 1) - lo in
-  Array.unsafe_get t.adj (lo + Cobra_prng.Keyed.int_below k d)
-
-(* [neighbor] without the vertex/index checks, for inner loops whose
-   indices come from [int_below (degree u)]. *)
-let[@inline] unsafe_neighbor t u i =
-  Array.unsafe_get t.adj (Array.unsafe_get t.offsets u + i)
-
-(* [degree] without the vertex check, paired with [unsafe_neighbor] in
-   kernels that hoist the per-vertex rejection mask over a fan-out of
-   draws below the same degree. *)
-let[@inline] unsafe_degree t u =
-  Array.unsafe_get t.offsets (u + 1) - Array.unsafe_get t.offsets u
+  match t.storage with
+  | Boxed { offsets; adj } ->
+      let lo = Array.unsafe_get offsets u in
+      let d = Array.unsafe_get offsets (u + 1) - lo in
+      Array.unsafe_get adj (lo + Cobra_prng.Keyed.int_below k d)
+  | Packed { offsets; adj } ->
+      let lo = Int32.to_int (A1.unsafe_get offsets u) in
+      let d = Int32.to_int (A1.unsafe_get offsets (u + 1)) - lo in
+      Int32.to_int (A1.unsafe_get adj (lo + Cobra_prng.Keyed.int_below k d))
 
 let random_neighbor t rng u =
   check_vertex t u;
-  let lo = t.offsets.(u) in
-  let d = t.offsets.(u + 1) - lo in
+  let d = unsafe_degree t u in
   if d = 0 then invalid_arg (Printf.sprintf "Graph.random_neighbor: vertex %d is isolated" u);
-  t.adj.(lo + Cobra_prng.Rng.int_below rng d)
+  unsafe_random_neighbor t rng u
 
 let neighbors t u =
   check_vertex t u;
-  Array.sub t.adj t.offsets.(u) (t.offsets.(u + 1) - t.offsets.(u))
+  match t.storage with
+  | Boxed { offsets; adj } -> Array.sub adj offsets.(u) (offsets.(u + 1) - offsets.(u))
+  | Packed { offsets; adj } ->
+      let lo = Int32.to_int (A1.get offsets u) in
+      let d = Int32.to_int (A1.get offsets (u + 1)) - lo in
+      Array.init d (fun i -> Int32.to_int (A1.unsafe_get adj (lo + i)))
 
 let iter_neighbors t u f =
   check_vertex t u;
-  for i = t.offsets.(u) to t.offsets.(u + 1) - 1 do
-    f t.adj.(i)
-  done
+  match t.storage with
+  | Boxed { offsets; adj } ->
+      for i = offsets.(u) to offsets.(u + 1) - 1 do
+        f (Array.unsafe_get adj i)
+      done
+  | Packed { offsets; adj } ->
+      for i = Int32.to_int (A1.get offsets u) to Int32.to_int (A1.get offsets (u + 1)) - 1 do
+        f (Int32.to_int (A1.unsafe_get adj i))
+      done
 
 let fold_neighbors t u f init =
   check_vertex t u;
   let acc = ref init in
-  for i = t.offsets.(u) to t.offsets.(u + 1) - 1 do
-    acc := f !acc t.adj.(i)
-  done;
+  iter_neighbors t u (fun v -> acc := f !acc v);
   !acc
 
 let mem_edge t u v =
   check_vertex t u;
   check_vertex t v;
-  let lo = ref t.offsets.(u) and hi = ref (t.offsets.(u + 1) - 1) in
+  let lo = ref 0 and hi = ref (unsafe_degree t u - 1) in
   let found = ref false in
   while (not !found) && !lo <= !hi do
     let mid = (!lo + !hi) / 2 in
-    let w = t.adj.(mid) in
+    let w = unsafe_neighbor t u mid in
     if w = v then found := true else if w < v then lo := mid + 1 else hi := mid - 1
   done;
   !found
 
 let iter_edges t f =
   for u = 0 to t.n - 1 do
-    for i = t.offsets.(u) to t.offsets.(u + 1) - 1 do
-      let v = t.adj.(i) in
+    let d = unsafe_degree t u in
+    for i = 0 to d - 1 do
+      let v = unsafe_neighbor t u i in
       if u < v then f u v
     done
   done
@@ -200,11 +300,39 @@ let edges t =
   List.rev !acc
 
 let degree_of_set t s =
-  Cobra_bitset.Bitset.fold (fun u acc -> acc + (t.offsets.(u + 1) - t.offsets.(u))) s 0
+  Cobra_bitset.Bitset.fold (fun u acc -> acc + unsafe_degree t u) s 0
 
 let total_degree t = 2 * t.m
-let csr_offsets t = t.offsets
-let csr_adjacency t = t.adj
+
+(* --- Flat CSR access for the float kernels ---
+
+   The blocked matvec and the CG hitting-time solver stream the raw CSR
+   arrays without per-edge closure calls; [csr] hands them the storage
+   as a one-shot match so each solver can compile a specialised gather
+   loop per representation.  The arrays are the graph's own storage,
+   shared, and must not be mutated. *)
+
+type csr =
+  | Csr_boxed of { offsets : int array; adj : int array }
+  | Csr_packed of { offsets : int32_array; adj : int32_array }
+
+let csr t =
+  match t.storage with
+  | Boxed { offsets; adj } -> Csr_boxed { offsets; adj }
+  | Packed { offsets; adj } -> Csr_packed { offsets; adj }
+
+(* Back-compat materialising accessors: zero-copy on boxed graphs, a
+   fresh widened copy on packed ones (tests and tools only; the solvers
+   use [csr]). *)
+let csr_offsets t =
+  match t.storage with
+  | Boxed { offsets; _ } -> offsets
+  | Packed { offsets; _ } -> Array.init (t.n + 1) (fun i -> Int32.to_int (A1.unsafe_get offsets i))
+
+let csr_adjacency t =
+  match t.storage with
+  | Boxed { adj; _ } -> adj
+  | Packed { adj; _ } -> Array.init (2 * t.m) (fun i -> Int32.to_int (A1.unsafe_get adj i))
 
 let pp_stats ppf t =
   Format.fprintf ppf "n=%d m=%d deg=[%d..%d]%s" t.n t.m (min_degree t) (max_degree t)

@@ -239,11 +239,27 @@ let to_dot ?(name = "g") g =
   Buffer.contents buf
 
 let write_file path g =
-  let oc = open_out path in
-  Fun.protect
-    ~finally:(fun () -> close_out oc)
-    (fun () -> output_string oc (to_string g))
+  if Filename.check_suffix path ".cgr" then Cgr.write path g
+  else begin
+    let oc = open_out path in
+    Fun.protect
+      ~finally:(fun () -> close_out oc)
+      (fun () -> output_string oc (to_string g))
+  end
 
-let read_file path =
-  let ic = open_in path in
-  Fun.protect ~finally:(fun () -> close_in ic) (fun () -> read_channel ic)
+(* Format dispatch: a regular file starting with the .cgr magic is the
+   packed binary format (mmap-opened, O(1)); anything else — including
+   FIFOs, which can't be sniffed without consuming bytes and can't be
+   mmapped anyway — streams through the text parser. *)
+let read_file ?(mmap = true) path =
+  let is_regular =
+    match (Unix.stat path).Unix.st_kind with
+    | Unix.S_REG -> true
+    | _ -> false
+    | exception Unix.Unix_error _ -> false
+  in
+  if is_regular && Cgr.is_cgr_file path then Cgr.read ~mmap path
+  else begin
+    let ic = open_in path in
+    Fun.protect ~finally:(fun () -> close_in ic) (fun () -> read_channel ic)
+  end

@@ -69,10 +69,17 @@ val to_dot : ?name:string -> Graph.t -> string
     small instances. *)
 
 val write_file : string -> Graph.t -> unit
-(** [write_file path g] writes [to_string g] to [path]. *)
+(** [write_file path g] writes [to_string g] to [path] — unless [path]
+    ends in [.cgr], in which case the packed binary format is written
+    via {!Cgr.write} instead.  Every [-o] flag in the CLI tools
+    therefore emits binary by just naming a [.cgr] output. *)
 
-val read_file : string -> Graph.t
-(** [read_file path] parses the file at [path] via {!read_channel} —
-    streaming, so [path] may name a FIFO; on regular files the result
-    is identical to reading the bytes through {!of_string}.
-    @raise Sys_error / Failure as appropriate. *)
+val read_file : ?mmap:bool -> string -> Graph.t
+(** [read_file path] loads the graph at [path], dispatching on content:
+    a regular file starting with the {!Cgr.magic} bytes opens through
+    the packed binary loader (mmap-backed by default; [~mmap:false]
+    loads eagerly with full validation), anything else parses via
+    {!read_channel} — streaming, so [path] may name a FIFO; on regular
+    text files the result is identical to reading the bytes through
+    {!of_string}.
+    @raise Sys_error / Failure / Cgr.Bad_file as appropriate. *)

@@ -28,8 +28,7 @@ let check_lengths g x y =
 
 type op = {
   g : Graph.t;
-  offsets : int array;
-  adj : int array;
+  csr : Graph.csr;                (* raw storage view; gather specialises per variant *)
   scale_in : float array option;  (* per-source weight, applied before the gather *)
   scale_out : float array option; (* per-row weight, applied after the gather *)
   xs : float array;               (* scratch for the pre-scaled input *)
@@ -45,14 +44,22 @@ type op = {
    product). *)
 let target_block_nnz = 16_384
 
-let make_blocks offsets n =
+let make_blocks csr n =
+  (* Construction-time only, so reading offsets through a closure is
+     fine; the gather loops below are the ones that must stay direct. *)
+  let off =
+    match csr with
+    | Graph.Csr_boxed { offsets; _ } -> fun i -> Array.unsafe_get offsets i
+    | Graph.Csr_packed { offsets; _ } ->
+        fun i -> Int32.to_int (Bigarray.Array1.unsafe_get offsets i)
+  in
   if n = 0 then [| 0 |]
   else begin
     let acc = ref [ 0 ] in
     let count = ref 1 in
     let block_start = ref 0 in
     for u = 0 to n - 1 do
-      if u > !block_start && offsets.(u + 1) - offsets.(!block_start) > target_block_nnz then begin
+      if u > !block_start && off (u + 1) - off !block_start > target_block_nnz then begin
         acc := u :: !acc;
         incr count;
         block_start := u
@@ -74,15 +81,14 @@ let inv_sqrt_degree g =
       if d = 0 then 0.0 else 1.0 /. sqrt (float_of_int d))
 
 let make_op g ~scale_in ~scale_out =
-  let offsets = Graph.csr_offsets g in
+  let csr = Graph.csr g in
   {
     g;
-    offsets;
-    adj = Graph.csr_adjacency g;
+    csr;
     scale_in;
     scale_out;
     xs = Array.make (Graph.n g) 0.0;
-    blocks = make_blocks offsets (Graph.n g);
+    blocks = make_blocks csr (Graph.n g);
   }
 
 let transition_op g = make_op g ~scale_in:None ~scale_out:(Some (inv_degree g))
@@ -93,11 +99,14 @@ let normalized_op g =
 
 let distribution_op g = make_op g ~scale_in:(Some (inv_degree g)) ~scale_out:None
 
-(* Pure CSR gather over rows [lo, hi) of the pre-scaled input. *)
+(* Pure CSR gather over rows [lo, hi) of the pre-scaled input.  One loop
+   per (storage, scaling) pair: floating-point addition order is the
+   neighbour order in both storages, so packed and boxed products are
+   bit-identical — the packed loops merely read 4-byte entries
+   (allocation-free [Int32.to_int] of an immediate). *)
 let gather_rows op src y ~lo ~hi =
-  let offsets = op.offsets and adj = op.adj in
-  match op.scale_out with
-  | Some out ->
+  match (op.csr, op.scale_out) with
+  | Graph.Csr_boxed { offsets; adj }, Some out ->
       for u = lo to hi - 1 do
         let s = ref 0.0 in
         for i = Array.unsafe_get offsets u to Array.unsafe_get offsets (u + 1) - 1 do
@@ -105,11 +114,31 @@ let gather_rows op src y ~lo ~hi =
         done;
         Array.unsafe_set y u (!s *. Array.unsafe_get out u)
       done
-  | None ->
+  | Graph.Csr_boxed { offsets; adj }, None ->
       for u = lo to hi - 1 do
         let s = ref 0.0 in
         for i = Array.unsafe_get offsets u to Array.unsafe_get offsets (u + 1) - 1 do
           s := !s +. Array.unsafe_get src (Array.unsafe_get adj i)
+        done;
+        Array.unsafe_set y u !s
+      done
+  | Graph.Csr_packed { offsets; adj }, Some out ->
+      let module A1 = Bigarray.Array1 in
+      for u = lo to hi - 1 do
+        let s = ref 0.0 in
+        for i = Int32.to_int (A1.unsafe_get offsets u)
+            to Int32.to_int (A1.unsafe_get offsets (u + 1)) - 1 do
+          s := !s +. Array.unsafe_get src (Int32.to_int (A1.unsafe_get adj i))
+        done;
+        Array.unsafe_set y u (!s *. Array.unsafe_get out u)
+      done
+  | Graph.Csr_packed { offsets; adj }, None ->
+      let module A1 = Bigarray.Array1 in
+      for u = lo to hi - 1 do
+        let s = ref 0.0 in
+        for i = Int32.to_int (A1.unsafe_get offsets u)
+            to Int32.to_int (A1.unsafe_get offsets (u + 1)) - 1 do
+          s := !s +. Array.unsafe_get src (Int32.to_int (A1.unsafe_get adj i))
         done;
         Array.unsafe_set y u !s
       done
@@ -133,7 +162,7 @@ let apply ?pool op x y =
         xs
   in
   let nblocks = Array.length op.blocks - 1 in
-  let nnz = Array.length op.adj in
+  let nnz = 2 * Graph.m op.g in
   match pool with
   | Some pool when nnz >= parallel_nnz_threshold && nblocks > 1 ->
       Pool.parallel_chunked pool ~lo:0 ~hi:nblocks (fun ~worker:_ ~lo ~hi ->

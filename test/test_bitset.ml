@@ -125,6 +125,27 @@ let test_errors () =
   Alcotest.check_raises "negative capacity" (Invalid_argument "Bitset.create: negative capacity")
     (fun () -> ignore (Bitset.create (-1)))
 
+(* The multiply-shift word addressing is only exact below 2^30, so
+   [create] caps capacity there.  Exercise both sides of the boundary:
+   the cap itself must work (including the last element, whose word/bit
+   decomposition is the largest the reciprocal ever sees), one past it
+   must raise an error naming the cap and the requested capacity. *)
+let test_capacity_cap () =
+  let cap = 1 lsl 30 in
+  let s = Bitset.create cap in
+  check_int "capacity at the cap" cap (Bitset.capacity s);
+  Bitset.add s (cap - 1);
+  Bitset.add s 0;
+  check_bool "last element addressable" true (Bitset.mem s (cap - 1));
+  check_int "cardinal" 2 (Bitset.cardinal s);
+  Alcotest.check_raises "one past the cap"
+    (Invalid_argument
+       (Printf.sprintf
+          "Bitset.create: capacity %d exceeds the %d (2^30) addressing limit of the \
+           multiply-shift word indexing"
+          (cap + 1) cap))
+    (fun () -> ignore (Bitset.create (cap + 1)))
+
 let test_pp () =
   let s = Bitset.of_list 10 [ 3; 1; 7 ] in
   Alcotest.(check string) "pp" "{1, 3, 7}" (Format.asprintf "%a" Bitset.pp s)
@@ -313,6 +334,7 @@ let () =
           Alcotest.test_case "choose/fold" `Quick test_choose_fold;
           Alcotest.test_case "random_member" `Quick test_random_member;
           Alcotest.test_case "errors" `Quick test_errors;
+          Alcotest.test_case "capacity cap boundary" `Quick test_capacity_cap;
           Alcotest.test_case "pp" `Quick test_pp;
         ] );
       ( "property",

@@ -1,0 +1,328 @@
+(* Tests for the packed int32 CSR storage and the .cgr binary format.
+
+   The load-bearing claim of graph.mli: packed and boxed storages are
+   observationally identical through every accessor, so for a fixed
+   seed every simulation, solver and serialisation result is
+   bit-identical whichever representation backs the graph.  Exercised
+   here across the generator zoo (which mixes storages by construction:
+   classic families build boxed via of_edge_array, Builder-based
+   power-law families come out packed), through the kernels
+   (cobra/bips, sequential and keyed), through the CG hitting-time
+   solver, and through a .cgr write -> eager load -> mmap load round
+   trip including torn-file rejection. *)
+
+module Graph = Cobra_graph.Graph
+module Gen = Cobra_graph.Gen
+module Cgr = Cobra_graph.Cgr
+module Graph_io = Cobra_graph.Graph_io
+module Process = Cobra_core.Process
+module Walk_theory = Cobra_core.Walk_theory
+module Props = Cobra_graph.Props
+module Bitset = Cobra_bitset.Bitset
+module Rng = Cobra_prng.Rng
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* The zoo: every family string here is deterministic under the fixed
+   seed, and the list deliberately spans both construction paths. *)
+let zoo =
+  [
+    ("hypercube", 64);
+    ("torus2d", 64);
+    ("complete", 24);
+    ("cycle", 63);
+    ("lollipop", 40);
+    ("regular-8", 96);
+    ("gnp", 80);
+    ("binary-tree", 31);
+    ("petersen", 10);
+    ("ba:4", 200);
+    ("chunglu:2.5", 200);
+    ("config:2.5", 200);
+  ]
+
+let zoo_graphs () =
+  List.map (fun (fam, n) -> (fam, Gen.by_name fam ~n (Rng.create 2017))) zoo
+
+let check_csr_equal msg a b =
+  check_int (msg ^ ": n") (Graph.n a) (Graph.n b);
+  check_int (msg ^ ": m") (Graph.m a) (Graph.m b);
+  Alcotest.(check (array int))
+    (msg ^ ": offsets") (Graph.csr_offsets a) (Graph.csr_offsets b);
+  Alcotest.(check (array int))
+    (msg ^ ": adjacency") (Graph.csr_adjacency a) (Graph.csr_adjacency b)
+
+(* --- pack / to_boxed are inverses and preserve every accessor --- *)
+
+let test_pack_roundtrip () =
+  List.iter
+    (fun (fam, g) ->
+      let boxed = Graph.to_boxed g in
+      let packed = Graph.pack g in
+      check_bool (fam ^ ": to_boxed is boxed") false (Graph.is_packed boxed);
+      check_bool (fam ^ ": pack is packed") true (Graph.is_packed packed);
+      check_csr_equal (fam ^ ": boxed vs packed") boxed packed;
+      check_csr_equal (fam ^ ": pack . to_boxed") boxed (Graph.to_boxed packed);
+      let entries = Graph.n g + 1 + (2 * Graph.m g) in
+      check_int (fam ^ ": packed bytes") (4 * entries) (Graph.storage_bytes packed);
+      check_int (fam ^ ": boxed bytes") (8 * entries) (Graph.storage_bytes boxed))
+    (zoo_graphs ())
+
+let test_accessors_agree () =
+  List.iter
+    (fun (fam, g) ->
+      let boxed = Graph.to_boxed g and packed = Graph.pack g in
+      for u = 0 to Graph.n g - 1 do
+        if Graph.degree boxed u <> Graph.degree packed u then
+          Alcotest.failf "%s: degree mismatch at %d" fam u;
+        Alcotest.(check (array int))
+          (Printf.sprintf "%s: neighbors %d" fam u)
+          (Graph.neighbors boxed u) (Graph.neighbors packed u);
+        (* Identical draw sequences must select identical neighbours. *)
+        let r1 = Rng.create (u + 1) and r2 = Rng.create (u + 1) in
+        if Graph.degree boxed u > 0 then
+          for _ = 1 to 8 do
+            if Graph.random_neighbor boxed r1 u <> Graph.random_neighbor packed r2 u then
+              Alcotest.failf "%s: random_neighbor diverges at %d" fam u
+          done
+      done;
+      check_int (fam ^ ": max_degree") (Graph.max_degree boxed) (Graph.max_degree packed);
+      check_int (fam ^ ": min_degree") (Graph.min_degree boxed) (Graph.min_degree packed);
+      check_bool (fam ^ ": mem_edge") true
+        (Graph.n g < 2
+        || Graph.mem_edge boxed 0 1 = Graph.mem_edge packed 0 1))
+    (zoo_graphs ())
+
+(* --- Kernel equivalence: same seed, same rounds, same sets --- *)
+
+let run_cobra g ~seed ~rounds =
+  let n = Graph.n g in
+  let rng = Rng.create seed in
+  let current = Bitset.create n and next = Bitset.create n in
+  Bitset.add current 0;
+  let tx = ref 0 in
+  let trace = Buffer.create 256 in
+  for _ = 1 to rounds do
+    tx :=
+      !tx
+      + Process.cobra_step g rng ~branching:(Process.Fixed 2) ~lazy_:false ~current ~next;
+    Bitset.blit ~src:next ~dst:current;
+    Buffer.add_string trace (Printf.sprintf "%d;" (Bitset.cardinal current))
+  done;
+  (!tx, Buffer.contents trace, Bitset.to_list current)
+
+let run_cobra_keyed g ~master ~rounds =
+  let n = Graph.n g in
+  let ctx = Process.make_keyed_ctx g ~master in
+  let current = Bitset.create n and next = Bitset.create n in
+  Bitset.add current 0;
+  let tx = ref 0 in
+  for round = 1 to rounds do
+    tx :=
+      !tx
+      + Process.cobra_step_keyed g ctx ~round ~branching:(Process.Fixed 2) ~lazy_:false
+          ~current ~next;
+    Bitset.blit ~src:next ~dst:current
+  done;
+  (!tx, Bitset.to_list current)
+
+let run_bips g ~seed ~rounds =
+  let n = Graph.n g in
+  let rng = Rng.create seed in
+  let current = Bitset.create n and next = Bitset.create n in
+  Bitset.add current 0;
+  for _ = 1 to rounds do
+    Process.bips_step g rng ~branching:(Process.Bernoulli 0.5) ~lazy_:false ~source:0
+      ~current ~next;
+    Bitset.blit ~src:next ~dst:current
+  done;
+  Bitset.to_list current
+
+let test_kernels_bit_identical () =
+  List.iter
+    (fun (fam, g) ->
+      let boxed = Graph.to_boxed g and packed = Graph.pack g in
+      let tx_b, trace_b, set_b = run_cobra boxed ~seed:7 ~rounds:12 in
+      let tx_p, trace_p, set_p = run_cobra packed ~seed:7 ~rounds:12 in
+      check_int (fam ^ ": cobra transmissions") tx_b tx_p;
+      Alcotest.(check string) (fam ^ ": cobra cardinal trace") trace_b trace_p;
+      Alcotest.(check (list int)) (fam ^ ": cobra final set") set_b set_p;
+      let ktx_b, kset_b = run_cobra_keyed boxed ~master:2017 ~rounds:12 in
+      let ktx_p, kset_p = run_cobra_keyed packed ~master:2017 ~rounds:12 in
+      check_int (fam ^ ": keyed cobra transmissions") ktx_b ktx_p;
+      Alcotest.(check (list int)) (fam ^ ": keyed cobra final set") kset_b kset_p;
+      Alcotest.(check (list int))
+        (fam ^ ": bips final set")
+        (run_bips boxed ~seed:11 ~rounds:12)
+        (run_bips packed ~seed:11 ~rounds:12))
+    (zoo_graphs ())
+
+(* --- Solver equivalence: CG over the grounded Laplacian --- *)
+
+let test_solver_bit_identical () =
+  List.iter
+    (fun (fam, g) ->
+      if Props.is_connected g then begin
+        let boxed = Graph.to_boxed g and packed = Graph.pack g in
+        let hb = Walk_theory.hitting_times boxed ~target:0 in
+        let hp = Walk_theory.hitting_times packed ~target:0 in
+        (* Bit-identical, not approximately equal: the packed gather
+           accumulates in the same order as the boxed one. *)
+        Array.iteri
+          (fun u x ->
+            if not (Int64.equal (Int64.bits_of_float x) (Int64.bits_of_float hp.(u))) then
+              Alcotest.failf "%s: hitting time differs at %d: %.17g vs %.17g" fam u x hp.(u))
+          hb
+      end)
+    (zoo_graphs ())
+
+(* --- .cgr round trip --- *)
+
+let with_tmp f =
+  let path = Filename.temp_file "cobra_test" ".cgr" in
+  Fun.protect ~finally:(fun () -> Sys.remove path) (fun () -> f path)
+
+let test_cgr_roundtrip () =
+  List.iter
+    (fun (fam, g) ->
+      with_tmp (fun path ->
+          Cgr.write path g;
+          let expected_bytes = 32 + (4 * (Graph.n g + 1 + (2 * Graph.m g))) in
+          check_int (fam ^ ": file size") expected_bytes (Unix.stat path).Unix.st_size;
+          let eager = Cgr.read_eager path in
+          let mapped = Cgr.read_mmap path in
+          check_bool (fam ^ ": eager is packed") true (Graph.is_packed eager);
+          check_bool (fam ^ ": mmap is packed") true (Graph.is_packed mapped);
+          check_csr_equal (fam ^ ": eager round trip") g eager;
+          check_csr_equal (fam ^ ": mmap round trip") g mapped;
+          (* Dispatch through the generic loader must land here too. *)
+          check_bool (fam ^ ": sniff") true (Cgr.is_cgr_file path);
+          check_csr_equal (fam ^ ": read_file dispatch") g (Graph_io.read_file path)))
+    (zoo_graphs ())
+
+(* A simulation driven off the mmap-backed graph is bit-identical to
+   one on the original: storage is invisible to the draw sequence. *)
+let test_cgr_simulation_identical () =
+  let g = Gen.by_name "ba:4" ~n:300 (Rng.create 5) in
+  with_tmp (fun path ->
+      Cgr.write path g;
+      let mapped = Cgr.read_mmap path in
+      let tx_a, trace_a, set_a = run_cobra g ~seed:13 ~rounds:10 in
+      let tx_b, trace_b, set_b = run_cobra mapped ~seed:13 ~rounds:10 in
+      check_int "transmissions" tx_a tx_b;
+      Alcotest.(check string) "trace" trace_a trace_b;
+      Alcotest.(check (list int)) "final set" set_a set_b)
+
+(* --- Malformed files are rejected, never misread --- *)
+
+let expect_bad name f =
+  match f () with
+  | (_ : Graph.t) -> Alcotest.failf "%s: malformed file was accepted" name
+  | exception Cgr.Bad_file _ -> ()
+
+let patch_byte path ~pos ~byte =
+  let fd = Unix.openfile path [ Unix.O_WRONLY ] 0 in
+  Fun.protect
+    ~finally:(fun () -> Unix.close fd)
+    (fun () ->
+      ignore (Unix.lseek fd pos Unix.SEEK_SET : int);
+      ignore (Unix.write fd (Bytes.make 1 (Char.chr byte)) 0 1 : int))
+
+let truncate_to path len =
+  let fd = Unix.openfile path [ Unix.O_WRONLY ] 0 in
+  Fun.protect ~finally:(fun () -> Unix.close fd) (fun () -> Unix.ftruncate fd len)
+
+let test_cgr_rejects_malformed () =
+  let g = Gen.by_name "hypercube" ~n:64 (Rng.create 1) in
+  let size = 32 + (4 * (Graph.n g + 1 + (2 * Graph.m g))) in
+  let fresh f =
+    with_tmp (fun path ->
+        Cgr.write path g;
+        f path)
+  in
+  (* Truncation at several depths: inside the header, inside the
+     offsets, one byte short of complete. *)
+  List.iter
+    (fun len ->
+      fresh (fun path ->
+          truncate_to path len;
+          expect_bad (Printf.sprintf "truncated to %d (eager)" len) (fun () ->
+              Cgr.read_eager path);
+          expect_bad (Printf.sprintf "truncated to %d (mmap)" len) (fun () ->
+              Cgr.read_mmap path)))
+    [ 0; 16; 40; size - 1 ];
+  (* A trailing extra byte is as torn as a missing one. *)
+  fresh (fun path ->
+      let oc = open_out_gen [ Open_append; Open_binary ] 0 path in
+      output_char oc '\x00';
+      close_out oc;
+      expect_bad "oversize (eager)" (fun () -> Cgr.read_eager path);
+      expect_bad "oversize (mmap)" (fun () -> Cgr.read_mmap path));
+  (* Wrong version and nonzero reserved flags. *)
+  fresh (fun path ->
+      patch_byte path ~pos:8 ~byte:9;
+      expect_bad "bad version" (fun () -> Cgr.read_eager path));
+  fresh (fun path ->
+      patch_byte path ~pos:12 ~byte:1;
+      expect_bad "nonzero flags" (fun () -> Cgr.read_mmap path));
+  (* A corrupted magic is simply not a .cgr file: the sniff says no and
+     the generic loader falls back to the text parser (which then fails
+     on binary junk with its own error, not a misparse). *)
+  fresh (fun path ->
+      patch_byte path ~pos:0 ~byte:Char.(code 'X');
+      check_bool "sniff rejects" false (Cgr.is_cgr_file path);
+      match Graph_io.read_file path with
+      | (_ : Graph.t) -> Alcotest.fail "binary junk parsed as text"
+      | exception Failure _ -> ());
+  (* The eager loader's structural walk catches payload corruption the
+     size checks cannot: an adjacency entry pointing past n. *)
+  fresh (fun path ->
+      patch_byte path ~pos:(size - 1) ~byte:0x7f;
+      expect_bad "out-of-range adjacency (eager)" (fun () -> Cgr.read_eager path))
+
+(* --- QCheck: random multigraph edge lists, packed = boxed --- *)
+
+let random_graph_equiv =
+  QCheck.Test.make ~name:"random graphs: packed and boxed bit-identical" ~count:60
+    QCheck.(pair (int_range 2 50) (int_range 0 1000))
+    (fun (n, seed) ->
+      let rng = Rng.create seed in
+      let m = Rng.int_below rng (4 * n) in
+      (* A ring base keeps every vertex non-isolated (the kernels
+         require it); the random extras add skew and duplicates. *)
+      let edges =
+        Array.init (n + m) (fun i ->
+            if i < n then (i, (i + 1) mod n)
+            else begin
+              let u = Rng.int_below rng n in
+              let v = (u + 1 + Rng.int_below rng (n - 1)) mod n in
+              (u, v)
+            end)
+      in
+      let boxed = Graph.of_edge_array ~n edges in
+      let packed = Graph.pack boxed in
+      let tx_b, trace_b, set_b = run_cobra boxed ~seed:(seed + 1) ~rounds:6 in
+      let tx_p, trace_p, set_p = run_cobra packed ~seed:(seed + 1) ~rounds:6 in
+      Graph.csr_offsets boxed = Graph.csr_offsets packed
+      && Graph.csr_adjacency boxed = Graph.csr_adjacency packed
+      && tx_b = tx_p && trace_b = trace_p && set_b = set_p)
+
+let () =
+  Alcotest.run "packed"
+    [
+      ( "storage",
+        [
+          Alcotest.test_case "pack/to_boxed round trip" `Quick test_pack_roundtrip;
+          Alcotest.test_case "accessors agree" `Quick test_accessors_agree;
+          Alcotest.test_case "kernels bit-identical" `Quick test_kernels_bit_identical;
+          Alcotest.test_case "CG solver bit-identical" `Quick test_solver_bit_identical;
+        ] );
+      ( "cgr",
+        [
+          Alcotest.test_case "write/eager/mmap round trip" `Quick test_cgr_roundtrip;
+          Alcotest.test_case "simulation on mmap graph" `Quick test_cgr_simulation_identical;
+          Alcotest.test_case "malformed files rejected" `Quick test_cgr_rejects_malformed;
+        ] );
+      ("property", [ QCheck_alcotest.to_alcotest random_graph_equiv ]);
+    ]
